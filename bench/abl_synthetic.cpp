@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation C: sensitivity to the single-use fraction, swept directly
+ * with the synthetic stream generator — something no fixed workload
+ * can do.  Validates the paper's core premise: the benefit of register
+ * sharing grows with the fraction of single-use values.
+ */
+
+#include "bpred/bpred.hh"
+#include "common.hh"
+#include "core/o3core.hh"
+#include "rename/baseline.hh"
+#include "rename/reuse.hh"
+#include "trace/synthetic.hh"
+
+using namespace rrs;
+
+namespace {
+
+double
+runSynthetic(double singleUse, bool reuseScheme)
+{
+    trace::SyntheticParams sp;
+    sp.numInsts = 120'000;
+    sp.singleUseFraction = singleUse;
+    sp.redefFraction = 0.8;
+    // Keep control flow predictable and memory light so register
+    // pressure, not branch or cache behaviour, dominates the sweep.
+    sp.branchFraction = 0.06;
+    sp.takenFraction = 0.98;
+    sp.loadFraction = 0.15;
+    sp.storeFraction = 0.05;
+    trace::SyntheticStream stream(sp);
+
+    mem::MemSystem mem{mem::MemSystemParams{}};
+    bpred::BranchPredictor bp{bpred::BPredParams{}};
+    std::unique_ptr<rename::Renamer> rn;
+    if (reuseScheme) {
+        rename::ReuseRenamerParams rp;
+        rp.intBanks = harness::equalAreaBanks(48);
+        rp.fpBanks = rp.intBanks;
+        rn = std::make_unique<rename::ReuseRenamer>(rp);
+    } else {
+        rn = std::make_unique<rename::BaselineRenamer>(
+            rename::BaselineParams{48, 48});
+    }
+    core::O3Core core(core::CoreParams{}, *rn, mem, bp, stream);
+    return static_cast<double>(core.run().cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: synthetic single-use fraction sweep",
+                  "the paper's premise: more single-use values => more "
+                  "register sharing => larger equal-area speedup");
+
+    stats::TextTable t({"single-use fraction", "baseline cycles",
+                        "proposed cycles", "speedup"});
+    double last = 0;
+    for (double f : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+        double b = runSynthetic(f, false);
+        double p = runSynthetic(f, true);
+        t.row().cell(f, 1).cell(b, 0).cell(p, 0).cell(b / p, 3);
+        last = b / p;
+    }
+    t.print(std::cout,
+            "Equal-area speedup vs injected single-use fraction "
+            "(48-register class, synthetic workload)");
+    std::printf("\nShape checks: speedup rises with the single-use "
+                "fraction (%.3f at 0.8); at 0.0 the proposed scheme "
+                "pays its capacity deficit with little reuse to "
+                "recover it.\n", last);
+    return 0;
+}

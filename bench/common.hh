@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries.  Each bench
+ * regenerates one of the paper's tables or figures: it runs the
+ * required simulations, prints the measured rows/series next to the
+ * paper's reference values, and states the shape being validated.
+ */
+
+#ifndef RRS_BENCH_COMMON_HH
+#define RRS_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "stats/table.hh"
+#include "trace/analysis.hh"
+#include "workloads/workloads.hh"
+
+namespace rrs::bench {
+
+/** Default timing-run length per workload (post-warmup). */
+constexpr std::uint64_t timingInsts = 150'000;
+
+/** Default analysis window per workload. */
+constexpr std::uint64_t analysisInsts = 300'000;
+
+/** Paper register-file sweep points (Table III column 1). */
+inline const std::vector<std::uint32_t> &
+rfSizes()
+{
+    static const std::vector<std::uint32_t> sizes = {48, 56, 64, 72,
+                                                     80, 96, 112};
+    return sizes;
+}
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &what, const std::string &paperRef)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Paper reference: %s\n", paperRef.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Value-usage analysis for one workload. */
+inline trace::UsageReport
+usageOf(const workloads::Workload &w,
+        std::uint64_t window = analysisInsts)
+{
+    auto stream = workloads::makeStream(w, window);
+    return trace::analyzeUsage(*stream, window);
+}
+
+/** Speedup of the proposed scheme at one equal-area sweep point. */
+inline double
+speedupAt(const workloads::Workload &w, std::uint32_t baselineRegs,
+          bool paperPreset = false,
+          std::uint64_t insts = timingInsts)
+{
+    auto base = harness::baselineConfig(baselineRegs);
+    base.maxInsts = insts;
+    auto prop = harness::reuseConfig(baselineRegs);
+    prop.reuse.intBanks = harness::equalAreaBanks(baselineRegs,
+                                                  paperPreset);
+    prop.reuse.fpBanks = prop.reuse.intBanks;
+    prop.maxInsts = insts;
+    auto ob = harness::runOn(w, base);
+    auto op = harness::runOn(w, prop);
+    return static_cast<double>(ob.sim.cycles) /
+           static_cast<double>(op.sim.cycles);
+}
+
+} // namespace rrs::bench
+
+#endif // RRS_BENCH_COMMON_HH

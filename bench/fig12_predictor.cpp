@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 12: accuracy of the register type predictor — the breakdown
+ * of released registers into correctly/incorrectly predicted-reused
+ * and correctly/incorrectly predicted-normal.
+ *
+ * Paper reference (SPECfp): ~2.28% of instructions lose a reuse
+ * opportunity to a wrong not-single-use prediction and ~3.1% are
+ * reused incorrectly (requiring repair); the large majority of
+ * predictions are correct.
+ */
+
+#include "common.hh"
+
+using namespace rrs;
+
+int
+main()
+{
+    bench::banner("Figure 12: register type predictor accuracy",
+                  "most predictions correct; ~2.28% lost opportunities "
+                  "and ~3.1% repaired mispredictions in SPECfp");
+
+    stats::TextTable t({"workload", "reuse-ok%", "reuse-wrong%",
+                        "normal-ok%", "normal-wrong%", "repairs/1k"});
+    for (const auto &suite : workloads::suiteNames()) {
+        std::vector<double> ok;
+        for (const auto &w : workloads::suiteWorkloads(suite)) {
+            auto cfg = harness::reuseConfig(64);
+            cfg.maxInsts = bench::timingInsts;
+            auto out = harness::runOn(w, cfg);
+            auto f = out.fig12;
+            double total = f.total() > 0 ? f.total() : 1;
+            t.row()
+                .cell(w.name)
+                .cell(100.0 * f.reuseCorrect / total, 1)
+                .cell(100.0 * f.reuseWrong / total, 1)
+                .cell(100.0 * f.noReuseCorrect / total, 1)
+                .cell(100.0 * f.noReuseWrong / total, 1)
+                .cell(1000.0 * out.repairs /
+                          static_cast<double>(out.sim.committedInsts),
+                      2);
+            ok.push_back(100.0 * (f.reuseCorrect + f.noReuseCorrect) /
+                         total);
+        }
+        double mean = 0;
+        for (double v : ok)
+            mean += v;
+        t.row().cell("MEAN-correct(" + suite + ")")
+            .cell(mean / static_cast<double>(ok.size()), 1)
+            .cell("").cell("").cell("").cell("");
+    }
+    t.print(std::cout, "Released-register prediction breakdown "
+                       "(proposed scheme, 64-reg equal-area config)");
+    std::printf("\nShape checks: correct classifications dominate; "
+                "repair micro-ops stay at a few per thousand committed "
+                "instructions (paper: mispredicted reuses ~3%%).\n");
+    return 0;
+}

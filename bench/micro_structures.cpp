@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot simulator structures:
+ * rename/commit throughput for both renamers, squash cost, cache
+ * access, emulation speed, and trace analysis.  These guard the
+ * simulator's own performance (the sweeps run hundreds of timing
+ * simulations) and document the relative cost of the proposed
+ * renamer's extra bookkeeping.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "emu/emulator.hh"
+#include "mem/memsystem.hh"
+#include "rename/baseline.hh"
+#include "rename/reuse.hh"
+#include "trace/analysis.hh"
+#include "workloads/workloads.hh"
+
+using namespace rrs;
+
+namespace {
+
+trace::DynInst
+chainInst(int i)
+{
+    trace::DynInst di;
+    di.si.op = isa::Opcode::Add;
+    di.si.dest = isa::intReg(static_cast<LogRegIndex>(1 + (i % 8)));
+    di.si.srcs[0] = isa::intReg(static_cast<LogRegIndex>(1 + (i % 8)));
+    di.si.srcs[1] = isa::intReg(static_cast<LogRegIndex>(9 + (i % 4)));
+    di.pc = 0x1000 + 4 * static_cast<Addr>(i % 64);
+    return di;
+}
+
+void
+BM_BaselineRenameCommit(benchmark::State &state)
+{
+    rename::BaselineRenamer rn(rename::BaselineParams{128, 128});
+    int i = 0;
+    for (auto _ : state) {
+        auto r = rn.rename(chainInst(i++));
+        benchmark::DoNotOptimize(r);
+        rn.commit(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BaselineRenameCommit);
+
+void
+BM_ReuseRenameCommit(benchmark::State &state)
+{
+    rename::ReuseRenamer rn(rename::ReuseRenamerParams{});
+    int i = 0;
+    for (auto _ : state) {
+        auto r = rn.rename(chainInst(i++));
+        benchmark::DoNotOptimize(r);
+        rn.commit(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReuseRenameCommit);
+
+void
+BM_ReuseRenameSquash(benchmark::State &state)
+{
+    rename::ReuseRenamer rn(rename::ReuseRenamerParams{});
+    int i = 0;
+    for (auto _ : state) {
+        auto token = rn.historyPosition();
+        for (int k = 0; k < 8; ++k)
+            rn.rename(chainInst(i++));
+        rn.squashTo(token);
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_ReuseRenameSquash);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    mem::MemSystem ms{mem::MemSystemParams{}};
+    Tick now = ms.dataAccess(0x1000, 0x100000, false, 0);
+    for (auto _ : state) {
+        now = ms.dataAccess(0x1000, 0x100000, false, now);
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_EmulatorThroughput(benchmark::State &state)
+{
+    const auto &w = workloads::workload("int_crc");
+    auto stream = workloads::makeStream(w, 1'000'000'000);
+    trace::DynInst di;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        if (!stream->step(di))
+            stream = workloads::makeStream(w, 1'000'000'000);
+        benchmark::DoNotOptimize(di);
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EmulatorThroughput);
+
+void
+BM_UsageAnalysis(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto stream =
+            workloads::makeStream(workloads::workload("fp_horner"),
+                                  50'000);
+        auto rep = trace::analyzeUsage(*stream, 50'000);
+        benchmark::DoNotOptimize(rep);
+    }
+    state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_UsageAnalysis);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Renamer explorer: replays the paper's Figure 4 running example
+ * instruction by instruction, printing how each scheme renames it —
+ * the conventional scheme allocating eight physical registers and the
+ * proposed scheme sharing one register across the I1/I4/I5/I6 chain
+ * with version counters (P1.0, P1.1, ...).
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "rename/baseline.hh"
+#include "rename/reuse.hh"
+#include "trace/dyninst.hh"
+
+using namespace rrs;
+
+namespace {
+
+void
+explore(rename::Renamer &renamer, const isa::Program &prog,
+        const char *label)
+{
+    std::printf("--- %s ---\n", label);
+    std::printf("%-26s %-10s %-10s %-10s %s\n", "instruction", "dst",
+                "src1", "src2", "note");
+    std::uint64_t allocs = 0;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        trace::DynInst di;
+        di.pc = isa::Program::pcOf(i);
+        di.si = prog.text[i];
+        if (di.si.op == isa::Opcode::Halt)
+            break;
+        auto r = renamer.rename(di);
+        if (!r.success) {
+            std::printf("%-26s <stall: no free register>\n",
+                        di.si.toString().c_str());
+            continue;
+        }
+        const char *note = "";
+        if (r.reused)
+            note = "reused (no allocation)";
+        else if (r.hasDest) {
+            note = "1 new register";
+            ++allocs;
+        }
+        std::printf("%-26s %-10s %-10s %-10s %s\n",
+                    di.si.toString().c_str(),
+                    r.hasDest ? r.destTag.toString().c_str() : "-",
+                    r.numSrcTags > 0 && r.srcTags[0].valid()
+                        ? r.srcTags[0].toString().c_str()
+                        : "-",
+                    r.numSrcTags > 1 && r.srcTags[1].valid()
+                        ? r.srcTags[1].toString().c_str()
+                        : "-",
+                    note);
+    }
+    std::printf("=> %llu new registers\n\n",
+                static_cast<unsigned long long>(allocs));
+}
+
+} // namespace
+
+int
+main()
+{
+    // The paper's Figure 4 instruction sequence (r1..r5 -> x1..x5).
+    // x2, x3, x4 hold earlier values, as in the example.
+    isa::Program prog = isa::assemble(R"(
+        add x1, x2, x3       ; I1
+        ldr x3, [x6]         ; I2
+        mul x2, x3, x4       ; I3
+        add x1, x1, x4       ; I4: chain on x1
+        mul x1, x1, x1       ; I5: chain on x1
+        mul x1, x1, x3       ; I6: chain on x1
+        add x5, x1, x2       ; I7
+        sub x2, x5, x1       ; I8
+        halt
+    )");
+
+    std::printf("Paper Figure 4: renaming the same eight instructions "
+                "under both schemes.\n\n");
+
+    rename::BaselineRenamer baseline(rename::BaselineParams{64, 64});
+    explore(baseline, prog, "conventional renaming (Figure 4a)");
+
+    // All spare registers carry 3 shadow cells so the chain can share
+    // without predictor warm-up, mirroring the paper's illustration.
+    rename::ReuseRenamerParams rp;
+    rp.intBanks = {32, 0, 0, 32};
+    rp.fpBanks = {32, 0, 0, 32};
+    rename::ReuseRenamer reuse(rp);
+    // The paper's example also reuses at I7 via the single-use
+    // predictor; warm the entry for I3 (the producer of I7's x2
+    // operand) as steady-state execution would have.
+    reuse.predictor().trainOnShadowExhausted(
+        reuse.predictor().indexFor(isa::Program::pcOf(2)));
+    explore(reuse, prog, "proposed renaming (Figure 4b)");
+
+    std::printf("The I1/I4/I5/I6 chain shares one physical register "
+                "(versions .0 through .3) and I7 reuses I3's register "
+                "via the single-use predictor, as in the paper's "
+                "Figure 4(b) (4 allocations instead of 8); our "
+                "predictor additionally catches I8's reuse of I7's "
+                "value, saving one more.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+#include "area.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rrs::area {
+
+double
+AreaModel::bitCellArea() const
+{
+    const double total_ports = ports.readPorts + ports.writePorts;
+    const double growth = 1.0 + c.portFactor * (total_ports - 1.0);
+    return c.sramBitCell * growth * growth;
+}
+
+double
+AreaModel::shadowCellArea() const
+{
+    return c.sramBitCell * c.shadowCellRatio;
+}
+
+double
+AreaModel::regFileArea(std::uint32_t regs, std::uint32_t bits,
+                       std::uint32_t shadowCells) const
+{
+    return c.regFilePeriphery +
+           static_cast<double>(regs) * bits * bitCellArea() +
+           static_cast<double>(shadowCells) * bits * shadowCellArea();
+}
+
+double
+AreaModel::bankedRegFileArea(const std::array<std::uint32_t, 4> &banks,
+                             std::uint32_t bits) const
+{
+    std::uint32_t regs = 0, shadow = 0;
+    for (int b = 0; b < 4; ++b) {
+        regs += banks[static_cast<std::size_t>(b)];
+        shadow += banks[static_cast<std::size_t>(b)] *
+                  static_cast<std::uint32_t>(b);
+    }
+    return regFileArea(regs, bits, shadow);
+}
+
+double
+AreaModel::sramArea(std::uint32_t entries, std::uint32_t bitsPerEntry,
+                    std::uint32_t tablePorts) const
+{
+    const double growth = 1.0 + c.portFactor * (tablePorts - 1.0);
+    return c.tablePeriphery + static_cast<double>(entries) *
+                                  bitsPerEntry * c.tableBitCell *
+                                  growth * growth;
+}
+
+double
+AreaModel::iqOverheadArea(std::uint32_t entries,
+                          std::uint32_t extraBits) const
+{
+    // Version bits participate in wakeup matching: CAM cells, with the
+    // wide comparison fan-in of the issue queue.
+    return static_cast<double>(entries) * extraBits * c.tableBitCell *
+           c.camFactor * 6.0;
+}
+
+double
+AreaModel::prtArea(std::uint32_t physRegs,
+                   std::uint32_t counterBits) const
+{
+    // Read bit + counter; accessed by rename (multi-ported for the
+    // rename width).
+    return sramArea(physRegs, 1 + counterBits, 4) - c.tablePeriphery +
+           2.0e-5;
+}
+
+double
+AreaModel::predictorArea(std::uint32_t entries,
+                         std::uint32_t bitsPerEntry) const
+{
+    // The predictor includes the hash logic and update queue, which
+    // dominate for a 1-Kbit table.
+    return sramArea(entries, bitsPerEntry, 3) + 2.0e-3;
+}
+
+std::uint32_t
+AreaModel::equalAreaBank0(std::uint32_t baselineRegs, std::uint32_t bits,
+                          const std::array<std::uint32_t, 4> &shadowBanks,
+                          double structureOverhead,
+                          std::uint32_t minRegs) const
+{
+    const double budget = regFileArea(baselineRegs, bits, 0);
+    // Start from the shadow banks (bank0 == 0) and add registers while
+    // the area fits.
+    std::array<std::uint32_t, 4> banks = shadowBanks;
+    banks[0] = 0;
+    double fixed = bankedRegFileArea(banks, bits) + structureOverhead;
+    if (fixed > budget)
+        return 0;
+    double per_reg = static_cast<double>(bits) * bitCellArea();
+    auto n0 = static_cast<std::uint32_t>((budget - fixed) / per_reg);
+    if (n0 < minRegs)
+        return 0;
+    return n0;
+}
+
+} // namespace rrs::area

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * CACTI-6.5-lite: an analytical area model for register files and SRAM
+ * tables, standing in for the CACTI 6.5 runs in the paper's
+ * methodology (Section V-A, Table II).
+ *
+ * What matters for reproducing the paper is *relative* area:
+ *  - multi-ported register file bit cells grow quadratically with port
+ *    count (wordlines one way, bitlines the other);
+ *  - shadow cells are pairs of cross-coupled inverters hanging off the
+ *    main cell through a pass transistor — their area is independent
+ *    of the port count, so they get relatively cheaper as ports grow;
+ *  - small side tables (PRT, predictor) are tiny next to the register
+ *    files.
+ *
+ * Constants are calibrated so the default configuration reproduces the
+ * paper's Table II values (128x64b int RF = 0.2834 mm2, 128x128b fp RF
+ * = 0.4988 mm2, PRT ~5.1e-4, IQ overhead ~1.5e-3, predictor ~3.1e-3).
+ */
+
+#ifndef RRS_AREA_AREA_HH
+#define RRS_AREA_AREA_HH
+
+#include <array>
+#include <cstdint>
+
+namespace rrs::area {
+
+/** Process / layout constants (calibrated, not physical). */
+struct AreaConstants
+{
+    /** Area of a single-ported register-file bit cell, mm^2. */
+    double sramBitCell = 2.4e-6;
+
+    /** Area of a dense small-SRAM table bit cell, mm^2 (PRT, tables). */
+    double tableBitCell = 6.3e-7;
+
+    /** Port pitch growth factor per extra port (quadratic model). */
+    double portFactor = 0.138;
+
+    /** Shadow cell area relative to a single-ported bit cell. */
+    double shadowCellRatio = 1.2;
+
+    /** Fixed periphery (decoders/drivers) per register file, mm^2. */
+    double regFilePeriphery = 0.066;
+
+    /** Periphery per small SRAM table, mm^2 (sense amps etc.). */
+    double tablePeriphery = 1.0e-4;
+
+    /** CAM cell multiplier over an SRAM cell (for IQ wakeup bits). */
+    double camFactor = 2.45;
+};
+
+/** Read/write port configuration of a register file. */
+struct PortConfig
+{
+    // Matched to the modeled core's issue/writeback widths (6-wide
+    // issue with two sources per op, 6-wide writeback), as in gem5's
+    // O3 defaults.
+    std::uint32_t readPorts = 12;
+    std::uint32_t writePorts = 6;
+};
+
+/** The analytical model. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const AreaConstants &constants = AreaConstants{},
+                       PortConfig ports = PortConfig{})
+        : c(constants), ports(ports)
+    {
+    }
+
+    /** Area of one multi-ported bit cell, mm^2. */
+    double bitCellArea() const;
+
+    /** Area of one shadow cell (port independent), mm^2. */
+    double shadowCellArea() const;
+
+    /**
+     * Register file area: `regs` registers of `bits` bits plus
+     * `shadowCells` embedded shadow *registers* (each `bits` wide).
+     */
+    double regFileArea(std::uint32_t regs, std::uint32_t bits,
+                       std::uint32_t shadowCells = 0) const;
+
+    /**
+     * Banked register file: bank[i] registers with i shadow cells each
+     * (the paper's Figure 5 organisation).
+     */
+    double bankedRegFileArea(const std::array<std::uint32_t, 4> &banks,
+                             std::uint32_t bits) const;
+
+    /** Small SRAM table area (PRT, predictor). */
+    double sramArea(std::uint32_t entries, std::uint32_t bitsPerEntry,
+                    std::uint32_t tablePorts = 2) const;
+
+    /**
+     * Issue-queue overhead of the proposed scheme: the extra version
+     * bits per operand tag are CAM (wakeup-matched) cells.
+     * @param entries IQ entries
+     * @param extraBits extra tag bits per entry (paper: 4)
+     */
+    double iqOverheadArea(std::uint32_t entries,
+                          std::uint32_t extraBits) const;
+
+    /** PRT area: one (read bit + counter) entry per physical register. */
+    double prtArea(std::uint32_t physRegs,
+                   std::uint32_t counterBits) const;
+
+    /** Register type predictor area (512 x 2 bits by default). */
+    double predictorArea(std::uint32_t entries,
+                         std::uint32_t bitsPerEntry = 2) const;
+
+    /**
+     * Solve for the biggest bank-0 size such that the proposed
+     * organisation (bank0 + fixed shadow banks + structure overheads)
+     * fits in the area of a conventional file of `baselineRegs`
+     * registers.  Returns 0 if even bank0 == minRegs does not fit.
+     */
+    std::uint32_t equalAreaBank0(
+        std::uint32_t baselineRegs, std::uint32_t bits,
+        const std::array<std::uint32_t, 4> &shadowBanks,
+        double structureOverhead, std::uint32_t minRegs = 0) const;
+
+    const AreaConstants &constants() const { return c; }
+
+  private:
+    AreaConstants c;
+    PortConfig ports;
+};
+
+} // namespace rrs::area
+
+#endif // RRS_AREA_AREA_HH

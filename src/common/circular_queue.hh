@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO used to model hardware queues (fetch
+ * queue, ROB, LSQ, store buffer).  Unlike std::deque it has a hard
+ * capacity, O(1) everything, and stable logical indexing from the head,
+ * which is what pipeline-stage code wants.
+ */
+
+#ifndef RRS_COMMON_CIRCULAR_QUEUE_HH
+#define RRS_COMMON_CIRCULAR_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "logging.hh"
+
+namespace rrs {
+
+/**
+ * Bounded circular queue.  Elements are pushed at the back and popped
+ * from the front (or from the back, for squash-from-tail semantics).
+ *
+ * @tparam T element type
+ */
+template <typename T>
+class CircularQueue
+{
+  public:
+    /** Create a queue with the given hard capacity. */
+    explicit CircularQueue(std::size_t capacity)
+        : buf(capacity), cap(capacity)
+    {
+        rrs_assert(capacity > 0, "queue capacity must be positive");
+    }
+
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == cap; }
+    std::size_t freeSlots() const { return cap - count; }
+
+    /** Append an element at the tail. Queue must not be full. */
+    void
+    pushBack(T value)
+    {
+        rrs_assert(!full(), "pushBack on full queue");
+        buf[(head + count) % cap] = std::move(value);
+        ++count;
+    }
+
+    /** Remove and discard the head element. */
+    void
+    popFront()
+    {
+        rrs_assert(!empty(), "popFront on empty queue");
+        head = (head + 1) % cap;
+        --count;
+    }
+
+    /** Remove and discard the tail element (squash youngest). */
+    void
+    popBack()
+    {
+        rrs_assert(!empty(), "popBack on empty queue");
+        --count;
+    }
+
+    /** Head (oldest) element. */
+    T &front() { rrs_assert(!empty(), "front of empty"); return buf[head]; }
+    const T &
+    front() const
+    {
+        rrs_assert(!empty(), "front of empty");
+        return buf[head];
+    }
+
+    /** Tail (youngest) element. */
+    T &
+    back()
+    {
+        rrs_assert(!empty(), "back of empty");
+        return buf[(head + count - 1) % cap];
+    }
+    const T &
+    back() const
+    {
+        rrs_assert(!empty(), "back of empty");
+        return buf[(head + count - 1) % cap];
+    }
+
+    /** i-th element counting from the head (0 == oldest). */
+    T &
+    at(std::size_t i)
+    {
+        rrs_assert(i < count, "index out of range");
+        return buf[(head + i) % cap];
+    }
+    const T &
+    at(std::size_t i) const
+    {
+        rrs_assert(i < count, "index out of range");
+        return buf[(head + i) % cap];
+    }
+
+    /** Drop every element. */
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<T> buf;
+    std::size_t cap;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace rrs
+
+#endif // RRS_COMMON_CIRCULAR_QUEUE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention:
+ *
+ *  - panic():  an internal simulator invariant was violated (a bug in
+ *              rrsim itself).  Aborts so a debugger / core dump can
+ *              capture the state.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, malformed workload).  Exits cleanly
+ *              with a non-zero status.
+ *  - warn():   something is suspicious but the run can continue.
+ *  - inform(): plain status output.
+ *
+ * All of them accept printf-style formatting.
+ */
+
+#ifndef RRS_COMMON_LOGGING_HH
+#define RRS_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rrs {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vformatString(const char *fmt, va_list args);
+
+/** Format a printf-style message into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rrs
+
+#define rrs_panic(...) ::rrs::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define rrs_fatal(...) ::rrs::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define rrs_warn(...) ::rrs::warnImpl(__VA_ARGS__)
+#define rrs_inform(...) ::rrs::informImpl(__VA_ARGS__)
+
+/**
+ * Invariant check that stays on in release builds.  Use for simulator
+ * invariants whose violation means a bug in rrsim.
+ */
+#define rrs_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rrs::panicImpl(__FILE__, __LINE__,                            \
+                             "assertion failed: %s", #cond);                \
+        }                                                                   \
+    } while (0)
+
+#endif // RRS_COMMON_LOGGING_HH

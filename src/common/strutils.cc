@@ -1,0 +1,106 @@
+#include "strutils.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace rrs {
+
+std::string_view
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    std::size_t e = s.size();
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string_view>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string_view>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        std::size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        if (i > start)
+            out.push_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (auto &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::int64_t>
+parseInt(std::string_view s)
+{
+    s = trim(s);
+    if (!s.empty() && s.front() == '#')
+        s.remove_prefix(1);
+    if (s.empty())
+        return std::nullopt;
+    std::string buf(s);
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(buf.c_str(), &end, 0);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+std::optional<double>
+parseDouble(std::string_view s)
+{
+    s = trim(s);
+    if (!s.empty() && s.front() == '#')
+        s.remove_prefix(1);
+    if (s.empty())
+        return std::nullopt;
+    std::string buf(s);
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(buf.c_str(), &end);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return v;
+}
+
+} // namespace rrs

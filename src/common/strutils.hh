@@ -1,0 +1,45 @@
+/**
+ * @file
+ * String helpers used by the assembler, config handling and reporters:
+ * trimming, splitting, case folding and numeric parsing with error
+ * reporting.
+ */
+
+#ifndef RRS_COMMON_STRUTILS_HH
+#define RRS_COMMON_STRUTILS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rrs {
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are kept. */
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/** Split on any run of whitespace; empty fields are dropped. */
+std::vector<std::string_view> splitWhitespace(std::string_view s);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** True if s starts with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/**
+ * Parse a signed integer; accepts decimal, 0x-hex and a leading '-'
+ * or '#' (ARM-style immediate marker).  Returns nullopt on garbage.
+ */
+std::optional<std::int64_t> parseInt(std::string_view s);
+
+/** Parse a double. Returns nullopt on garbage. */
+std::optional<double> parseDouble(std::string_view s);
+
+} // namespace rrs
+
+#endif // RRS_COMMON_STRUTILS_HH

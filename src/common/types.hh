@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every rrsim module.
+ *
+ * The conventions mirror gem5: Addr for byte addresses, Cycles for
+ * relative cycle counts, Tick for absolute cycle timestamps.  Register
+ * identifiers distinguish *logical* (architectural) registers from
+ * *physical* registers; both carry a register class (integer / float)
+ * because the paper models decoupled integer and floating-point
+ * register files.
+ */
+
+#ifndef RRS_COMMON_TYPES_HH
+#define RRS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace rrs {
+
+/** Byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Absolute simulation time, measured in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** A relative number of core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Dynamic instruction sequence number (monotonic over a run). */
+using InstSeqNum = std::uint64_t;
+
+/** Index of a logical (architectural) register within its class. */
+using LogRegIndex = std::uint16_t;
+
+/** Index of a physical register within its class's register file. */
+using PhysRegIndex = std::uint16_t;
+
+/** Sentinel for "no register". */
+constexpr std::uint16_t invalidRegIndex =
+    std::numeric_limits<std::uint16_t>::max();
+
+/** Sentinel for "no sequence number" / "not assigned". */
+constexpr InstSeqNum invalidSeqNum =
+    std::numeric_limits<InstSeqNum>::max();
+
+/** Sentinel address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/**
+ * Register classes.  The paper's processor (ARMv8-like) keeps integer
+ * and floating-point register files decoupled and sizes them
+ * independently; every register identifier in rrsim is therefore
+ * qualified by a class.
+ */
+enum class RegClass : std::uint8_t {
+    Int = 0,
+    Float = 1,
+};
+
+/** Number of register classes (for sizing per-class arrays). */
+constexpr int numRegClasses = 2;
+
+/** Short human-readable name of a register class. */
+inline const char *
+regClassName(RegClass cls)
+{
+    return cls == RegClass::Int ? "int" : "fp";
+}
+
+} // namespace rrs
+
+#endif // RRS_COMMON_TYPES_HH

@@ -1,0 +1,682 @@
+#include "o3core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rrs::core {
+
+using isa::BranchKind;
+using isa::InstClass;
+
+O3Core::O3Core(const CoreParams &params, rename::Renamer &renamer,
+               mem::MemSystem &mem, bpred::BranchPredictor &bp,
+               trace::InstStream &stream, stats::Group *parent)
+    : stats::Group("core", parent), params(params), renamer(renamer),
+      memSys(mem), bpred(bp), stream(stream),
+      wrongPath(params.seed ^ 0xabcdef, 256), rng(params.seed),
+      indexer(renamer.tagIndexer()),
+      regReadyAt(indexer.size(), 0),
+      fuIntAlu(params.fu.intAlu, 0), fuIntMulDiv(params.fu.intMulDiv, 0),
+      fuFpAlu(params.fu.fpAlu, 0), fuFpMulDiv(params.fu.fpMulDiv, 0),
+      fuMem(params.fu.memPorts, 0),
+      cycles(this, "cycles", "total simulated cycles"),
+      committed(this, "committed", "committed instructions"),
+      committedWrongPathNever(this, "wrongPathCommitted",
+                              "wrong-path commits (must stay zero)"),
+      renameStallNoReg(this, "renameStallNoReg",
+                       "rename stalls: no free physical register"),
+      renameStallRob(this, "renameStallRob", "rename stalls: ROB full"),
+      renameStallIq(this, "renameStallIq", "rename stalls: IQ full"),
+      renameStallLsq(this, "renameStallLsq", "rename stalls: LSQ full"),
+      fetchStallCycles(this, "fetchStallCycles",
+                       "cycles with fetch blocked"),
+      branchMispredicts(this, "branchMispredicts",
+                        "resolved mispredicted control instructions"),
+      squashedInsts(this, "squashedInsts", "instructions squashed"),
+      recoveryCycles(this, "recoveryCycles",
+                     "extra cycles for shadow-cell recover commands"),
+      exceptionsTaken(this, "exceptions", "page-fault exceptions taken"),
+      interruptsTaken(this, "interrupts", "timer interrupts taken"),
+      wrongPathFetched(this, "wrongPathFetched",
+                       "synthetic wrong-path instructions fetched"),
+      robOccupancy(this, "robOccupancy", "ROB occupancy per cycle"),
+      iqOccupancy(this, "iqOccupancy", "IQ occupancy per cycle")
+{
+    if (params.interruptInterval > 0)
+        nextInterrupt = params.interruptInterval;
+}
+
+std::uint32_t
+O3Core::tagIndex(const rename::PhysRegTag &tag) const
+{
+    return indexer(tag);
+}
+
+bool
+O3Core::tagReady(const rename::PhysRegTag &tag) const
+{
+    return regReadyAt[tagIndex(tag)] <= now;
+}
+
+void
+O3Core::setTagReady(const rename::PhysRegTag &tag, Tick when)
+{
+    regReadyAt[tagIndex(tag)] = when;
+}
+
+void
+O3Core::setTagPending(const rename::PhysRegTag &tag)
+{
+    regReadyAt[tagIndex(tag)] = ~Tick{0};
+}
+
+O3Core::InFlight *
+O3Core::findBySeq(std::uint64_t fetchSeq)
+{
+    auto it = std::lower_bound(
+        rob.begin(), rob.end(), fetchSeq,
+        [](const InFlight &a, std::uint64_t s) { return a.fetchSeq < s; });
+    if (it == rob.end() || it->fetchSeq != fetchSeq)
+        return nullptr;
+    return &*it;
+}
+
+bool
+O3Core::srcsReady(const InFlight &inst) const
+{
+    for (int s = 0; s < inst.rr.numSrcTags; ++s) {
+        const rename::PhysRegTag &tag =
+            inst.rr.srcTags[static_cast<std::size_t>(s)];
+        if (tag.valid() && !tagReady(tag))
+            return false;
+    }
+    return true;
+}
+
+bool
+O3Core::loadMayIssue(const InFlight &inst, Tick *forwardReady) const
+{
+    *forwardReady = 0;
+    // Scan older stores: unknown addresses block; overlapping known
+    // addresses forward.
+    const Addr lo = inst.di.effAddr;
+    const Addr hi = lo + inst.di.si.info().memBytes;
+    bool forward = false;
+    for (const InFlight &other : rob) {
+        if (other.fetchSeq >= inst.fetchSeq)
+            break;
+        if (!other.di.isStore())
+            continue;
+        if (!other.storeExecuted)
+            return false;   // conservative: address unknown
+        if (other.wrongPath)
+            continue;       // synthetic store, no real data
+        Addr olo = other.di.effAddr;
+        Addr ohi = olo + other.di.si.info().memBytes;
+        if (lo < ohi && olo < hi) {
+            forward = true;
+            *forwardReady = std::max(*forwardReady, other.readyAt);
+        }
+    }
+    if (forward && *forwardReady == 0)
+        *forwardReady = now;
+    if (!forward)
+        *forwardReady = 0;
+    return true;
+}
+
+void
+O3Core::scheduleCompletion(InFlight &inst)
+{
+    const FuParams &fu = params.fu;
+    auto grab = [&](std::vector<Tick> &pool, Cycles occupy,
+                    Cycles latency) -> bool {
+        for (auto &busy : pool) {
+            if (busy <= now) {
+                busy = now + occupy;
+                inst.readyAt = now + latency;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    bool ok = false;
+    switch (inst.di.si.cls()) {
+      case InstClass::IntAlu:
+      case InstClass::Branch:
+        ok = grab(fuIntAlu, 1, fu.intAluLat);
+        break;
+      case InstClass::IntMult:
+        ok = grab(fuIntMulDiv, 1, fu.intMultLat);
+        break;
+      case InstClass::IntDiv:
+        ok = grab(fuIntMulDiv, fu.intDivLat, fu.intDivLat);
+        break;
+      case InstClass::FpAlu:
+        ok = grab(fuFpAlu, 1, fu.fpAluLat);
+        break;
+      case InstClass::FpMult:
+        ok = grab(fuFpMulDiv, 1, fu.fpMultLat);
+        break;
+      case InstClass::FpDiv:
+        ok = grab(fuFpMulDiv, fu.fpDivLat, fu.fpDivLat);
+        break;
+      case InstClass::Load: {
+        if (inst.wrongPath) {
+            ok = grab(fuMem, 1, fu.wrongPathLoadLat);
+            break;
+        }
+        Tick fwd = 0;
+        if (!loadMayIssue(inst, &fwd)) {
+            ok = false;
+            break;
+        }
+        for (auto &busy : fuMem) {
+            if (busy <= now) {
+                busy = now + 1;
+                if (fwd) {
+                    inst.readyAt = std::max(now, fwd) + fu.forwardLat;
+                } else {
+                    inst.readyAt = memSys.dataAccess(
+                        inst.di.pc, inst.di.effAddr, false, now);
+                }
+                ok = true;
+                break;
+            }
+        }
+        break;
+      }
+      case InstClass::Store:
+        ok = grab(fuMem, 1, fu.storeLat);
+        break;
+      case InstClass::Nop:
+        inst.readyAt = now;
+        ok = true;
+        break;
+    }
+    inst.issued = ok;
+}
+
+void
+O3Core::squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
+                    std::uint32_t *recoveries)
+{
+    // Discard un-renamed younger instructions; replay correct-path ones
+    // is unnecessary for mispredicts (all younger are wrong-path) and
+    // handled by the caller for flushes.
+    while (!rob.empty() && rob.back().fetchSeq > fetchSeq) {
+        const InFlight &victim = rob.back();
+        if (victim.di.isLoad())
+            --loadsInFlight;
+        if (victim.di.isStore())
+            --storesInFlight;
+        ++squashedInsts;
+        rob.pop_back();
+    }
+    // Remove squashed entries from the IQ.
+    iq.erase(std::remove_if(iq.begin(), iq.end(),
+                            [&](std::uint64_t s) { return s > fetchSeq; }),
+             iq.end());
+
+    auto produced = [&](const rename::PhysRegTag &tag) {
+        return regReadyAt[tagIndex(tag)] <= now;
+    };
+    std::uint32_t rec = renamer.squashTo(token, produced);
+    if (recoveries)
+        *recoveries = rec;
+
+    fetchQueue.clear();
+    lastFetchLine = invalidAddr;
+}
+
+void
+O3Core::resolveBranch(InFlight &inst)
+{
+    const BranchKind kind = inst.di.si.branchKind();
+    bpred.recordResolution(kind, !inst.mispredicted);
+    if (!inst.mispredicted)
+        return;
+
+    ++branchMispredicts;
+    std::uint32_t rec = 0;
+    squashAfter(inst.fetchSeq, inst.rr.endToken, &rec);
+
+    // Repair the speculative predictor state.
+    if (kind == BranchKind::Cond) {
+        bpred.correctHistory(inst.pred, inst.di.taken);
+    } else {
+        bpred.squash(inst.pred);
+        // Redo the RAS effect of the resolved instruction itself.
+        auto redo = bpred.predict(inst.di.pc, kind);
+        (void)redo;
+    }
+
+    onWrongPath = false;
+    Cycles rec_cycles = rec * params.recoverCmdCycles;
+    recoveryCycles += static_cast<double>(rec_cycles);
+    // Redirect: any previous fetch block (icache miss on the wrong
+    // path, or the no-wrong-path stall sentinel) is void.
+    fetchBlockedUntil = now + params.mispredictPenalty + rec_cycles;
+}
+
+void
+O3Core::flushAll(Cycles extraPenalty)
+{
+    if (rob.empty() && fetchQueue.empty())
+        return;
+
+    // Rewind the branch predictor to the oldest squashed prediction.
+    const InFlight *oldest_pred = nullptr;
+    for (const InFlight &i : rob) {
+        if (i.hasPred) {
+            oldest_pred = &i;
+            break;
+        }
+    }
+    if (!oldest_pred) {
+        for (const InFlight &i : fetchQueue) {
+            if (i.hasPred) {
+                oldest_pred = &i;
+                break;
+            }
+        }
+    }
+    if (oldest_pred)
+        bpred.squash(oldest_pred->pred);
+
+    // Correct-path instructions must be refetched after the flush.
+    std::vector<trace::DynInst> replayed;
+    for (const InFlight &i : rob) {
+        if (!i.wrongPath)
+            replayed.push_back(i.di);
+    }
+    for (const InFlight &i : fetchQueue) {
+        if (!i.wrongPath)
+            replayed.push_back(i.di);
+    }
+
+    std::uint32_t rec = 0;
+    if (!rob.empty()) {
+        rename::HistoryToken token = rob.front().rr.token;
+        std::uint64_t seq = rob.front().fetchSeq;
+        // Squash everything including the head.
+        squashAfter(seq == 0 ? 0 : seq - 1, token, &rec);
+        if (!rob.empty()) {
+            // Head had fetchSeq 0: squashAfter(0,...) keeps it; finish.
+            ++squashedInsts;
+            if (rob.front().di.isLoad())
+                --loadsInFlight;
+            if (rob.front().di.isStore())
+                --storesInFlight;
+            rob.clear();
+            iq.clear();
+            renamer.squashTo(token, [&](const rename::PhysRegTag &tag) {
+                return regReadyAt[tagIndex(tag)] <= now;
+            });
+        }
+    } else {
+        fetchQueue.clear();
+    }
+
+    // Recover committed values that live in shadow cells.
+    std::uint32_t committed_rec = renamer.committedShadowValues();
+    Cycles rec_cycles =
+        (rec + committed_rec) * params.recoverCmdCycles + extraPenalty;
+    recoveryCycles +=
+        static_cast<double>((rec + committed_rec) *
+                            params.recoverCmdCycles);
+    // Assignment, not max: the flush redirects fetch, voiding any
+    // earlier block (including the no-wrong-path stall sentinel of a
+    // mispredicted branch this flush just squashed).
+    fetchBlockedUntil = now + rec_cycles;
+
+    onWrongPath = false;
+    lastFetchLine = invalidAddr;
+
+    // Queue the replayed instructions ahead of the stream.
+    for (auto it = replayed.rbegin(); it != replayed.rend(); ++it)
+        replayBuffer.push_front(*it);
+}
+
+void
+O3Core::commitStage()
+{
+    if (params.interruptInterval > 0 && now >= nextInterrupt) {
+        nextInterrupt += params.interruptInterval;
+        if (!rob.empty() || !fetchQueue.empty()) {
+            ++interruptsTaken;
+            flushAll(params.exceptionPenalty +
+                     params.interruptServiceCycles);
+            return;
+        }
+    }
+
+    std::uint32_t n = 0;
+    while (n < params.commitWidth && !rob.empty()) {
+        InFlight &head = rob.front();
+        if (!head.completed)
+            break;
+        rrs_assert(!head.wrongPath,
+                   "wrong-path instruction reached commit");
+
+        bool faulted = head.faulting;
+        if (faulted) {
+            ++exceptionsTaken;
+            head.faulting = false;
+        }
+
+        renamer.commit(head.rr);
+        if (head.di.isStore())
+            memSys.dataAccess(head.di.pc, head.di.effAddr, true, now);
+        if (head.di.isControl()) {
+            Addr target = head.di.taken ? head.di.nextPc : invalidAddr;
+            bpred.update(head.di.pc, head.di.si.branchKind(),
+                         head.di.taken, target,
+                         head.pred.historySnapshot);
+        }
+        if (head.di.isLoad())
+            --loadsInFlight;
+        if (head.di.isStore())
+            --storesInFlight;
+
+        ++committed;
+        simResult.committedInsts += 1;
+        simResult.committedOps += 1 + head.rr.repairUops;
+        lastCommitTick = now;
+        ++n;
+        rob.pop_front();
+
+        if (faulted) {
+            // Precise exception: everything younger is flushed and the
+            // committed register state (possibly in shadow cells) is
+            // recovered before the handler runs.
+            flushAll(params.exceptionPenalty);
+            break;
+        }
+        if (params.maxInsts > 0 &&
+            simResult.committedInsts >= params.maxInsts) {
+            finished = true;
+            break;
+        }
+    }
+}
+
+void
+O3Core::writebackStage()
+{
+    std::uint32_t n = 0;
+    for (std::size_t i = 0; i < rob.size() && n < params.wbWidth; ++i) {
+        InFlight &inst = rob[i];
+        if (!inst.issued || inst.completed || inst.readyAt > now)
+            continue;
+        inst.completed = true;
+        ++n;
+        if (inst.di.isStore())
+            inst.storeExecuted = true;
+        if (inst.rr.hasDest)
+            setTagReady(inst.rr.destTag, now);
+        if (inst.di.isControl()) {
+            bool was_mispredicted = inst.mispredicted;
+            resolveBranch(inst);
+            if (was_mispredicted)
+                break;   // squash invalidated the iteration
+        }
+    }
+}
+
+void
+O3Core::issueStage()
+{
+    std::uint32_t budget = params.issueWidth;
+    std::vector<std::uint64_t> remaining;
+    remaining.reserve(iq.size());
+    for (std::uint64_t seq : iq) {
+        if (budget == 0) {
+            remaining.push_back(seq);
+            continue;
+        }
+        InFlight *inst = findBySeq(seq);
+        rrs_assert(inst != nullptr, "IQ entry without ROB entry");
+        if (!srcsReady(*inst)) {
+            remaining.push_back(seq);
+            continue;
+        }
+        scheduleCompletion(*inst);
+        if (inst->issued) {
+            inst->inIq = false;
+            --budget;
+        } else {
+            remaining.push_back(seq);
+        }
+    }
+    iq.swap(remaining);
+}
+
+void
+O3Core::renameStage()
+{
+    std::uint32_t width = params.renameWidth;
+    while (width > 0 && !fetchQueue.empty()) {
+        InFlight &cand = fetchQueue.front();
+        if (rob.size() >= params.robEntries) {
+            ++renameStallRob;
+            break;
+        }
+        bool needs_iq = cand.di.si.cls() != InstClass::Nop;
+        if (needs_iq && iq.size() >= params.iqEntries) {
+            ++renameStallIq;
+            break;
+        }
+        if (cand.di.isLoad() && loadsInFlight >= params.loadQueueEntries) {
+            ++renameStallLsq;
+            break;
+        }
+        if (cand.di.isStore() &&
+            storesInFlight >= params.storeQueueEntries) {
+            ++renameStallLsq;
+            break;
+        }
+
+        auto producer_executed = [&](const rename::PhysRegTag &tag) {
+            return regReadyAt[tagIndex(tag)] <= now;
+        };
+        rename::RenameResult rr =
+            renamer.rename(cand.di, producer_executed);
+        if (!rr.success) {
+            ++renameStallNoReg;
+            break;
+        }
+
+        // Repair micro-ops consume rename bandwidth and produce their
+        // destination a few cycles after the stale value is available.
+        for (int r = 0; r < rr.numRepairs; ++r) {
+            const auto &rep = rr.repairList[static_cast<std::size_t>(r)];
+            Tick src_ready = regReadyAt[tagIndex(rep.fromTag)];
+            if (src_ready == ~Tick{0})
+                src_ready = now;   // producer squashed: value archival
+            setTagReady(rep.toTag, std::max(now, src_ready) + rep.uops);
+        }
+        if (rr.repairUops >= width)
+            width = 1;   // at least finish this instruction
+        else
+            width -= rr.repairUops;
+
+        InFlight inst = cand;
+        fetchQueue.pop_front();
+        inst.rr = rr;
+        if (rr.hasDest)
+            setTagPending(rr.destTag);
+
+        if (inst.di.isLoad())
+            ++loadsInFlight;
+        if (inst.di.isStore())
+            ++storesInFlight;
+
+        if (needs_iq) {
+            inst.inIq = true;
+            iq.push_back(inst.fetchSeq);
+        } else {
+            inst.issued = true;
+            inst.completed = true;
+            inst.readyAt = now;
+        }
+        rob.push_back(std::move(inst));
+        --width;
+    }
+}
+
+void
+O3Core::fetchStage()
+{
+    if (now < fetchBlockedUntil) {
+        ++fetchStallCycles;
+        return;
+    }
+
+    std::uint32_t fetched = 0;
+    while (fetched < params.fetchWidth &&
+           fetchQueue.size() < params.fetchQueueEntries) {
+        // Pick the next instruction: wrong path, replay, or stream.
+        trace::DynInst di;
+        bool from_stream = false;
+        if (onWrongPath) {
+            di = wrongPath.generate(wrongPathPc, nextFetchSeq);
+            wrongPathPc = di.nextPc;
+            ++wrongPathFetched;
+        } else if (!replayBuffer.empty()) {
+            di = replayBuffer.front();
+        } else {
+            if (!pendingInst && !streamDone) {
+                pendingInst = stream.next();
+                if (!pendingInst)
+                    streamDone = true;
+            }
+            if (!pendingInst)
+                break;
+            di = *pendingInst;
+            from_stream = true;
+        }
+
+        // Instruction cache: one access per new line.
+        Addr line = di.pc / 64;
+        if (line != lastFetchLine) {
+            Tick done = memSys.fetchAccess(di.pc, now);
+            lastFetchLine = line;
+            if (done > now + 1) {
+                fetchBlockedUntil = done;
+                break;   // line arrives later; retry then
+            }
+        }
+
+        // Accept the instruction.
+        if (from_stream)
+            pendingInst.reset();
+        else if (!onWrongPath)
+            replayBuffer.pop_front();
+
+        InFlight inst;
+        inst.di = di;
+        inst.fetchSeq = nextFetchSeq++;
+        inst.wrongPath = onWrongPath;
+        inst.di.seq = inst.fetchSeq;
+
+        bool group_ends = false;
+        if (di.isControl()) {
+            bpred::Prediction p =
+                bpred.predict(di.pc, di.si.branchKind());
+            inst.pred = p;
+            inst.hasPred = true;
+            if (!inst.wrongPath) {
+                Addr pred_next =
+                    p.taken && p.target != invalidAddr
+                        ? p.target
+                        : di.pc + isa::instBytes;
+                // Direct unconditional branches and calls resolve their
+                // target at decode; a BTB miss there is not a
+                // misprediction.
+                BranchKind kind = di.si.branchKind();
+                if ((kind == BranchKind::Uncond ||
+                     kind == BranchKind::Call) && !p.btbHit) {
+                    pred_next = di.nextPc;
+                }
+                if (pred_next != di.nextPc) {
+                    inst.mispredicted = true;
+                    if (params.modelWrongPath) {
+                        onWrongPath = true;
+                        wrongPathPc = pred_next;
+                    } else {
+                        // No wrong-path modelling: stall fetch until
+                        // resolution (handled via the redirect penalty).
+                        fetchBlockedUntil = ~Tick{0} - (1u << 20);
+                    }
+                    group_ends = true;
+                } else if (di.taken) {
+                    group_ends = true;   // taken branches end the group
+                }
+            } else if (p.taken && p.target != invalidAddr) {
+                wrongPathPc = p.target;
+            }
+        }
+
+        // Page-fault injection on correct-path loads.
+        if (!inst.wrongPath && di.isLoad() &&
+            params.loadFaultProbability > 0 &&
+            rng.chance(params.loadFaultProbability)) {
+            inst.faulting = true;
+        }
+
+        if (!inst.wrongPath)
+            wrongPath.observe(di);
+
+        fetchQueue.push_back(std::move(inst));
+        ++fetched;
+        if (group_ends)
+            break;
+    }
+}
+
+SimResult
+O3Core::run()
+{
+    simResult = SimResult{};
+    finished = false;
+    lastCommitTick = 0;
+
+    while (!finished) {
+        commitStage();
+        if (finished)
+            break;
+        writebackStage();
+        issueStage();
+        renameStage();
+        fetchStage();
+
+        robOccupancy.sample(static_cast<double>(rob.size()));
+        iqOccupancy.sample(static_cast<double>(iq.size()));
+        if (sampler && samplerInterval > 0 &&
+            now % samplerInterval == 0) {
+            sampler(now);
+        }
+
+        ++now;
+        ++cycles;
+        simResult.cycles = now;
+
+        if (streamDone && rob.empty() && fetchQueue.empty() &&
+            replayBuffer.empty() && !pendingInst) {
+            finished = true;
+        }
+        if (!rob.empty() &&
+            now - lastCommitTick > params.deadlockThreshold) {
+            rrs_panic("core deadlock: no commit for %llu cycles; head %s",
+                      static_cast<unsigned long long>(
+                          now - lastCommitTick),
+                      rob.front().di.si.toString().c_str());
+        }
+    }
+    return simResult;
+}
+
+} // namespace rrs::core

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The out-of-order core timing model.
+ *
+ * A trace-driven (execute-at-fetch) O3 model in the style the paper's
+ * gem5 setup provides: 3-wide front end feeding a rename stage
+ * (pluggable: baseline or physical-register-sharing), a unified issue
+ * queue with versioned-tag wakeup, a ROB, split load/store queues with
+ * store-to-load forwarding, a functional-unit pool, and in-order
+ * commit.
+ *
+ * Speculation: branches are predicted at fetch; a mispredicted branch
+ * switches fetch to a *synthetic wrong path* (statistically matched to
+ * recent code) whose instructions allocate registers, occupy queue
+ * entries and execute, and are squashed when the branch resolves —
+ * preserving the wrong-path register pressure the paper's mechanism
+ * interacts with.  Squashes roll the renamer back through its history
+ * buffer; shadow-cell recover commands are charged as extra redirect
+ * cycles.  Page-fault injection and timer interrupts exercise the
+ * precise-exception recovery path (commit-time flush + shadow
+ * recovery).
+ */
+
+#ifndef RRS_CORE_O3CORE_HH
+#define RRS_CORE_O3CORE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "bpred/bpred.hh"
+#include "common/random.hh"
+#include "core/params.hh"
+#include "mem/memsystem.hh"
+#include "rename/renamer.hh"
+#include "stats/stats.hh"
+#include "trace/dyninst.hh"
+#include "trace/wrongpath.hh"
+
+namespace rrs::core {
+
+/** The core. */
+class O3Core : public stats::Group
+{
+  public:
+    /**
+     * @param params   pipeline configuration
+     * @param renamer  baseline or reuse renamer (owned by the caller)
+     * @param mem      memory hierarchy (owned by the caller)
+     * @param bp       branch predictor (owned by the caller)
+     * @param stream   correct-path dynamic instruction source
+     */
+    O3Core(const CoreParams &params, rename::Renamer &renamer,
+           mem::MemSystem &mem, bpred::BranchPredictor &bp,
+           trace::InstStream &stream, stats::Group *parent = nullptr);
+
+    /** Run the stream to completion; returns timing results. */
+    SimResult run();
+
+    /**
+     * Install a periodic sampler (e.g. register bank occupancy for
+     * Fig. 9); called every `interval` cycles with the current tick.
+     */
+    void
+    setSampler(std::function<void(Tick)> fn, Cycles interval)
+    {
+        sampler = std::move(fn);
+        samplerInterval = interval;
+    }
+
+    /** Committed-IPC of the finished run. */
+    const SimResult &result() const { return simResult; }
+
+    /** Aggregate counters for reports. */
+    double mispredictCount() const { return branchMispredicts.value(); }
+    double exceptionCount() const { return exceptionsTaken.value(); }
+    double interruptCount() const { return interruptsTaken.value(); }
+    double recoveryCycleCount() const { return recoveryCycles.value(); }
+    double renameStallNoRegCount() const
+    {
+        return renameStallNoReg.value();
+    }
+
+  private:
+    /** One in-flight instruction (ROB entry). */
+    struct InFlight
+    {
+        trace::DynInst di;
+        rename::RenameResult rr;
+        bpred::Prediction pred;
+        bool hasPred = false;
+        bool mispredicted = false;   //!< resolves with a redirect
+        bool wrongPath = false;
+        bool faulting = false;       //!< raises an exception at commit
+
+        bool inIq = false;
+        bool issued = false;
+        bool completed = false;
+        Tick readyAt = 0;            //!< completion (writeback) tick
+
+        bool storeExecuted = false;  //!< address computed (stores)
+        std::uint64_t fetchSeq = 0;  //!< dense core-local sequence
+    };
+
+    // --- pipeline stages, called once per cycle ---
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    // --- helpers ---
+    bool srcsReady(const InFlight &inst) const;
+    bool loadMayIssue(const InFlight &inst, Tick *forwardReady) const;
+    void scheduleCompletion(InFlight &inst);
+    void resolveBranch(InFlight &inst);
+    void squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
+                     std::uint32_t *recoveries);
+    void flushAll(Cycles extraPenalty);
+    InFlight *findBySeq(std::uint64_t fetchSeq);
+
+    std::uint32_t tagIndex(const rename::PhysRegTag &tag) const;
+    bool tagReady(const rename::PhysRegTag &tag) const;
+    void setTagReady(const rename::PhysRegTag &tag, Tick when);
+    void setTagPending(const rename::PhysRegTag &tag);
+
+    CoreParams params;
+    rename::Renamer &renamer;
+    mem::MemSystem &memSys;
+    bpred::BranchPredictor &bpred;
+    trace::InstStream &stream;
+    trace::WrongPathGenerator wrongPath;
+    Random rng;
+
+    Tick now = 0;
+
+    // Fetch state.
+    std::deque<InFlight> fetchQueue;
+    Tick fetchBlockedUntil = 0;
+    bool onWrongPath = false;
+    Addr wrongPathPc = 0;
+    std::optional<trace::DynInst> pendingInst;  //!< stream lookahead
+    std::deque<trace::DynInst> replayBuffer;    //!< refetch after flush
+    bool streamDone = false;
+    bool finished = false;
+    std::uint64_t nextFetchSeq = 0;
+    Addr lastFetchLine = invalidAddr;
+
+    // Backend state.
+    std::deque<InFlight> rob;
+    std::vector<std::uint64_t> iq;          //!< fetchSeqs waiting/ready
+    std::uint32_t loadsInFlight = 0;
+    std::uint32_t storesInFlight = 0;
+
+    // Scoreboard: ready tick per versioned tag.
+    rename::TagIndexer indexer;
+    std::vector<Tick> regReadyAt;
+
+    // Functional units: busy-until per pool.
+    std::vector<Tick> fuIntAlu, fuIntMulDiv, fuFpAlu, fuFpMulDiv, fuMem;
+
+    Tick nextInterrupt = 0;
+    Tick lastCommitTick = 0;
+
+    std::function<void(Tick)> sampler;
+    Cycles samplerInterval = 0;
+
+    SimResult simResult;
+
+    // Statistics.
+    stats::Scalar cycles;
+    stats::Scalar committed;
+    stats::Scalar committedWrongPathNever;
+    stats::Scalar renameStallNoReg;
+    stats::Scalar renameStallRob;
+    stats::Scalar renameStallIq;
+    stats::Scalar renameStallLsq;
+    stats::Scalar fetchStallCycles;
+    stats::Scalar branchMispredicts;
+    stats::Scalar squashedInsts;
+    stats::Scalar recoveryCycles;
+    stats::Scalar exceptionsTaken;
+    stats::Scalar interruptsTaken;
+    stats::Scalar wrongPathFetched;
+    stats::Average robOccupancy;
+    stats::Average iqOccupancy;
+};
+
+} // namespace rrs::core
+
+#endif // RRS_CORE_O3CORE_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Experiment harness: assembles a full rig (core + renamer + memory +
+ * branch predictor + workload), runs it, and extracts the numbers the
+ * paper's tables and figures report.  Also owns the equal-area sizing
+ * logic (Table III) that maps a baseline register-file size to the
+ * proposed 4-bank organisation of the same total area.
+ */
+
+#ifndef RRS_HARNESS_EXPERIMENT_HH
+#define RRS_HARNESS_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "area/area.hh"
+#include "bpred/bpred.hh"
+#include "core/params.hh"
+#include "mem/memsystem.hh"
+#include "rename/baseline.hh"
+#include "rename/reuse.hh"
+#include "workloads/workloads.hh"
+
+namespace rrs::harness {
+
+/** Which renamer a run uses. */
+enum class Scheme {
+    Baseline,
+    Reuse,
+};
+
+/** One timing-run configuration. */
+struct RunConfig
+{
+    Scheme scheme = Scheme::Baseline;
+    rename::BaselineParams baseline;     //!< used when scheme==Baseline
+    rename::ReuseRenamerParams reuse;    //!< used when scheme==Reuse
+    core::CoreParams core;
+    mem::MemSystemParams mem;
+    bpred::BPredParams bpred;
+    std::uint64_t maxInsts = 0;          //!< 0: workload default
+};
+
+/** Everything a run reports. */
+struct Outcome
+{
+    core::SimResult sim;
+    double condAccuracy = 0;
+    double mispredicts = 0;
+    double exceptions = 0;
+
+    // Renamer-side numbers (reuse scheme only where marked).
+    double allocations = 0;
+    double reuses = 0;           //!< reuse scheme
+    double repairs = 0;          //!< reuse scheme
+    double renameStalls = 0;
+    rename::ReuseRenamer::Fig12Counts fig12;   //!< reuse scheme
+
+    /** Time series of shared-register occupancy (Fig. 9 sampling). */
+    std::vector<std::uint32_t> sharedAtLeast1;
+    std::vector<std::uint32_t> sharedAtLeast2;
+    std::vector<std::uint32_t> sharedAtLeast3;
+};
+
+/** Run one workload under one configuration. */
+Outcome runOn(const workloads::Workload &w, const RunConfig &config,
+              bool sampleSharing = false);
+
+/** The paper's Table III register-file size mapping. */
+struct EqualAreaRow
+{
+    std::uint32_t baselineRegs;
+    rename::BankConfig banks;    //!< 0/1/2/3-shadow-cell bank sizes
+};
+
+/** Paper Table III presets (per register-file class). */
+const std::vector<EqualAreaRow> &tableIIIPresets();
+
+/**
+ * This repository's tuned equal-area rows: bank shapes derived from
+ * our Fig. 9 occupancy study (our kernels' reuse is dominated by
+ * depth-1 chains, so the shadow banks are shallower than the paper's),
+ * with bank 0 solved for equal area under the calibrated area model.
+ */
+const std::vector<EqualAreaRow> &tunedEqualAreaRows();
+
+/**
+ * Bank configuration for a given baseline size.
+ * @param paperPreset true: the paper's Table III row; false (default):
+ *        this repository's tuned row.
+ */
+rename::BankConfig equalAreaBanks(std::uint32_t baselineRegs,
+                                  bool paperPreset = false);
+
+/**
+ * Recompute Table III with the area model: fixed shadow banks as in
+ * the preset, bank0 solved so total area matches the baseline file of
+ * `baselineRegs` registers of `bits` bits (including the PRT / IQ /
+ * predictor overheads charged once against the int file).
+ */
+rename::BankConfig solveEqualAreaBanks(const area::AreaModel &model,
+                                       std::uint32_t baselineRegs,
+                                       std::uint32_t bits,
+                                       bool chargeOverheads);
+
+/**
+ * Build the standard RunConfig pair for a baseline size N: the
+ * baseline renamer with N regs per class, and the proposed renamer
+ * with the Table III equal-area bank configuration.
+ */
+RunConfig baselineConfig(std::uint32_t regsPerClass);
+RunConfig reuseConfig(std::uint32_t baselineRegsPerClass);
+
+/** Geometric mean of positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace rrs::harness
+
+#endif // RRS_HARNESS_EXPERIMENT_HH

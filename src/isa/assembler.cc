@@ -1,0 +1,439 @@
+#include "assembler.hh"
+
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strutils.hh"
+
+namespace rrs::isa {
+
+namespace {
+
+/** One parsed source line, retained between the two passes. */
+struct Line
+{
+    int number;                         //!< 1-based source line number
+    std::string label;                  //!< label defined here (if any)
+    std::string mnemonic;               //!< directive or opcode ("" if none)
+    std::vector<std::string> operands;  //!< comma-separated operand fields
+};
+
+/** Strip comments, split label / mnemonic / operands. */
+std::vector<Line>
+parseLines(std::string_view source)
+{
+    std::vector<Line> out;
+    int lineNo = 0;
+    for (std::string_view raw : split(source, '\n')) {
+        ++lineNo;
+        // Comments: ';' or '//' to end of line.
+        std::string_view s = raw;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            if (s[i] == ';' ||
+                (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/')) {
+                s = s.substr(0, i);
+                break;
+            }
+        }
+        s = trim(s);
+        if (s.empty())
+            continue;
+
+        Line line;
+        line.number = lineNo;
+
+        // Leading label(s): "name:" possibly followed by an instruction.
+        while (true) {
+            std::size_t colon = s.find(':');
+            if (colon == std::string_view::npos)
+                break;
+            std::string_view head = trim(s.substr(0, colon));
+            // Only treat as a label if the head is a single identifier.
+            if (head.empty() ||
+                head.find_first_of(" \t,[]#=") != std::string_view::npos) {
+                break;
+            }
+            if (!line.label.empty()) {
+                // Two labels on one line: emit the first as its own line.
+                Line only;
+                only.number = line.number;
+                only.label = line.label;
+                out.push_back(only);
+            }
+            line.label = std::string(head);
+            s = trim(s.substr(colon + 1));
+        }
+
+        if (!s.empty()) {
+            // Mnemonic is the first whitespace-delimited token.
+            std::size_t sp = s.find_first_of(" \t");
+            line.mnemonic = toLower(sp == std::string_view::npos
+                                        ? s
+                                        : s.substr(0, sp));
+            std::string_view rest =
+                sp == std::string_view::npos ? "" : trim(s.substr(sp));
+            if (!rest.empty()) {
+                // Split operands on commas that are outside brackets.
+                int depth = 0;
+                std::size_t start = 0;
+                for (std::size_t i = 0; i <= rest.size(); ++i) {
+                    if (i == rest.size() || (rest[i] == ',' && depth == 0)) {
+                        line.operands.emplace_back(
+                            trim(rest.substr(start, i - start)));
+                        start = i + 1;
+                    } else if (rest[i] == '[') {
+                        ++depth;
+                    } else if (rest[i] == ']') {
+                        --depth;
+                    }
+                }
+            }
+        }
+        if (!line.label.empty() || !line.mnemonic.empty())
+            out.push_back(std::move(line));
+    }
+    return out;
+}
+
+class AssemblerPass
+{
+  public:
+    explicit AssemblerPass(std::vector<Line> lines)
+        : lines(std::move(lines))
+    {
+    }
+
+    Program
+    run()
+    {
+        firstPass();
+        secondPass();
+        if (auto it = prog.symbols.find("_start");
+            it != prog.symbols.end()) {
+            prog.entry = it->second;
+        }
+        return std::move(prog);
+    }
+
+  private:
+    [[noreturn]] void
+    err(const Line &line, const std::string &msg) const
+    {
+        rrs_fatal("asm line %d: %s", line.number, msg.c_str());
+    }
+
+    bool
+    isDirective(const std::string &m) const
+    {
+        return !m.empty() && m[0] == '.';
+    }
+
+    /** Size in bytes a data directive will emit. */
+    std::size_t
+    directiveSize(const Line &line) const
+    {
+        if (line.mnemonic == ".word" || line.mnemonic == ".double")
+            return 8 * line.operands.size();
+        if (line.mnemonic == ".space") {
+            auto n = parseInt(line.operands.empty() ? "" : line.operands[0]);
+            if (!n || *n < 0)
+                err(line, ".space needs a non-negative size");
+            return static_cast<std::size_t>(*n);
+        }
+        return 0;
+    }
+
+    void
+    firstPass()
+    {
+        bool inText = true;
+        std::size_t textCount = 0;
+        Addr dataCursor = dataBase;
+        for (const auto &line : lines) {
+            if (!line.label.empty()) {
+                Addr addr = inText ? Program::pcOf(textCount) : dataCursor;
+                if (!prog.symbols.emplace(line.label, addr).second)
+                    err(line, "duplicate label '" + line.label + "'");
+            }
+            if (line.mnemonic.empty())
+                continue;
+            if (isDirective(line.mnemonic)) {
+                if (line.mnemonic == ".text") {
+                    inText = true;
+                } else if (line.mnemonic == ".data") {
+                    inText = false;
+                } else if (line.mnemonic == ".equ") {
+                    if (line.operands.size() != 2)
+                        err(line, ".equ NAME, value");
+                    auto v = parseInt(line.operands[1]);
+                    if (!v)
+                        err(line, "bad .equ value");
+                    constants[line.operands[0]] = *v;
+                } else if (line.mnemonic == ".align") {
+                    auto a = parseInt(line.operands.empty()
+                                          ? "8" : line.operands[0]);
+                    if (!a || *a <= 0)
+                        err(line, "bad .align");
+                    dataCursor = alignUpAddr(dataCursor,
+                                             static_cast<Addr>(*a));
+                } else if (line.mnemonic == ".word" ||
+                           line.mnemonic == ".double" ||
+                           line.mnemonic == ".space") {
+                    if (inText)
+                        err(line, "data directive in .text");
+                    dataCursor += directiveSize(line);
+                } else {
+                    err(line, "unknown directive " + line.mnemonic);
+                }
+            } else {
+                if (!inText)
+                    err(line, "instruction in .data");
+                ++textCount;
+            }
+        }
+    }
+
+    static Addr
+    alignUpAddr(Addr a, Addr align)
+    {
+        return (a + align - 1) / align * align;
+    }
+
+    /** Parse a register name; nullopt if not a register. */
+    std::optional<RegId>
+    parseReg(std::string_view tok) const
+    {
+        std::string t = toLower(tok);
+        if (t == "xzr")
+            return intReg(zeroReg);
+        if (t == "lr")
+            return intReg(linkReg);
+        if (t == "sp")
+            return intReg(28);
+        if (t.size() >= 2 && (t[0] == 'x' || t[0] == 'f')) {
+            auto n = parseInt(t.substr(1));
+            if (n && *n >= 0 && *n < numLogRegs) {
+                return t[0] == 'x'
+                           ? intReg(static_cast<LogRegIndex>(*n))
+                           : fpReg(static_cast<LogRegIndex>(*n));
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Resolve an immediate token: number, .equ constant, or =symbol. */
+    std::int64_t
+    parseImm(const Line &line, std::string_view tok) const
+    {
+        std::string_view t = trim(tok);
+        if (!t.empty() && t.front() == '=') {
+            std::string sym(trim(t.substr(1)));
+            auto it = prog.symbols.find(sym);
+            if (it == prog.symbols.end())
+                err(line, "undefined symbol '" + sym + "'");
+            return static_cast<std::int64_t>(it->second);
+        }
+        if (!t.empty() && t.front() == '#')
+            t.remove_prefix(1);
+        if (auto v = parseInt(t))
+            return *v;
+        auto it = constants.find(std::string(t));
+        if (it != constants.end())
+            return it->second;
+        err(line, "bad immediate '" + std::string(tok) + "'");
+    }
+
+    /** Resolve a branch-target operand to a PC. */
+    Addr
+    parseTarget(const Line &line, std::string_view tok) const
+    {
+        auto it = prog.symbols.find(std::string(trim(tok)));
+        if (it == prog.symbols.end())
+            err(line, "undefined label '" + std::string(tok) + "'");
+        return it->second;
+    }
+
+    /** Parse "[base]" or "[base, #off]". */
+    void
+    parseMem(const Line &line, std::string_view tok, RegId &base,
+             std::int64_t &offset) const
+    {
+        std::string_view t = trim(tok);
+        if (t.size() < 3 || t.front() != '[' || t.back() != ']')
+            err(line, "expected [base, #offset], got '" +
+                          std::string(tok) + "'");
+        t = t.substr(1, t.size() - 2);
+        auto parts = split(t, ',');
+        if (parts.empty() || parts.size() > 2)
+            err(line, "bad memory operand");
+        auto b = parseReg(trim(parts[0]));
+        if (!b || b->cls != RegClass::Int)
+            err(line, "memory base must be an integer register");
+        base = *b;
+        offset = parts.size() == 2 ? parseImm(line, parts[1]) : 0;
+    }
+
+    void
+    secondPass()
+    {
+        bool inText = true;
+        Addr dataCursor = dataBase;
+        for (const auto &line : lines) {
+            if (line.mnemonic.empty())
+                continue;
+            if (isDirective(line.mnemonic)) {
+                handleDirective(line, inText, dataCursor);
+                continue;
+            }
+            encode(line);
+        }
+    }
+
+    void
+    handleDirective(const Line &line, bool &inText, Addr &dataCursor)
+    {
+        if (line.mnemonic == ".text") {
+            inText = true;
+        } else if (line.mnemonic == ".data") {
+            inText = false;
+        } else if (line.mnemonic == ".equ") {
+            // handled in pass 1
+        } else if (line.mnemonic == ".align") {
+            auto a = parseInt(line.operands.empty() ? "8"
+                                                    : line.operands[0]);
+            dataCursor = alignUpAddr(dataCursor, static_cast<Addr>(*a));
+        } else if (line.mnemonic == ".word") {
+            DataChunk chunk{dataCursor, {}};
+            for (const auto &opnd : line.operands) {
+                std::int64_t v = parseImm(line, opnd);
+                for (int b = 0; b < 8; ++b) {
+                    chunk.bytes.push_back(
+                        static_cast<std::uint8_t>(v >> (8 * b)));
+                }
+            }
+            dataCursor += chunk.bytes.size();
+            prog.data.push_back(std::move(chunk));
+        } else if (line.mnemonic == ".double") {
+            DataChunk chunk{dataCursor, {}};
+            for (const auto &opnd : line.operands) {
+                std::string_view t = trim(std::string_view(opnd));
+                if (!t.empty() && t.front() == '#')
+                    t.remove_prefix(1);
+                auto d = parseDouble(t);
+                if (!d)
+                    err(line, "bad double '" + opnd + "'");
+                std::uint64_t raw;
+                static_assert(sizeof(raw) == sizeof(double));
+                std::memcpy(&raw, &*d, sizeof(raw));
+                for (int b = 0; b < 8; ++b) {
+                    chunk.bytes.push_back(
+                        static_cast<std::uint8_t>(raw >> (8 * b)));
+                }
+            }
+            dataCursor += chunk.bytes.size();
+            prog.data.push_back(std::move(chunk));
+        } else if (line.mnemonic == ".space") {
+            dataCursor += directiveSize(line);
+        }
+    }
+
+    void
+    encode(const Line &line)
+    {
+        auto opOpt = opcodeFromName(line.mnemonic);
+        if (!opOpt)
+            err(line, "unknown mnemonic '" + line.mnemonic + "'");
+        StaticInst inst;
+        inst.op = *opOpt;
+        const OpInfo &inf = inst.info();
+        const auto &ops = line.operands;
+        std::size_t cursor = 0;
+
+        auto nextOp = [&]() -> const std::string & {
+            if (cursor >= ops.size())
+                err(line, "missing operand");
+            return ops[cursor++];
+        };
+        auto reqReg = [&](RegClass cls) -> RegId {
+            const std::string &tok = nextOp();
+            auto r = parseReg(tok);
+            if (!r)
+                err(line, "expected register, got '" + tok + "'");
+            if (r->cls != cls)
+                err(line, "wrong register class for '" + tok + "'");
+            return *r;
+        };
+
+        if (inf.memBytes > 0) {
+            // Memory instructions: dest/value register then [base, #off].
+            if (inf.cls == InstClass::Load) {
+                inst.dest = reqReg(inf.destCls);
+                parseMem(line, nextOp(), inst.srcs[0], inst.imm);
+            } else {
+                inst.srcs[0] = reqReg(inf.srcCls[0]);
+                parseMem(line, nextOp(), inst.srcs[1], inst.imm);
+            }
+        } else if (inf.branch == BranchKind::Cond) {
+            inst.srcs[0] = reqReg(RegClass::Int);
+            inst.srcs[1] = reqReg(RegClass::Int);
+            inst.target = parseTarget(line, nextOp());
+        } else if (inf.branch == BranchKind::Uncond) {
+            inst.target = parseTarget(line, nextOp());
+        } else if (inf.branch == BranchKind::Call) {
+            inst.dest = intReg(linkReg);
+            inst.target = parseTarget(line, nextOp());
+        } else if (inf.branch == BranchKind::Return) {
+            inst.srcs[0] = intReg(linkReg);
+            if (cursor < ops.size())
+                inst.srcs[0] = reqReg(RegClass::Int);
+        } else if (inf.branch == BranchKind::Indirect) {
+            inst.srcs[0] = reqReg(RegClass::Int);
+        } else {
+            if (inf.hasDest)
+                inst.dest = reqReg(inf.destCls);
+            for (int s = 0; s < inf.numSrcs; ++s)
+                inst.srcs[static_cast<std::size_t>(s)] =
+                    reqReg(inf.srcCls[s]);
+            if (inf.hasImm)
+                inst.imm = parseImm(line, nextOp());
+            if (inf.hasFpImm) {
+                std::string_view t = trim(std::string_view(nextOp()));
+                if (!t.empty() && t.front() == '#')
+                    t.remove_prefix(1);
+                auto d = parseDouble(t);
+                if (!d)
+                    err(line, "bad fp immediate");
+                inst.fimm = *d;
+            }
+        }
+        if (cursor != ops.size())
+            err(line, "too many operands for " + line.mnemonic);
+        prog.text.push_back(inst);
+    }
+
+    std::vector<Line> lines;
+    Program prog;
+    std::unordered_map<std::string, std::int64_t> constants;
+};
+
+} // namespace
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        rrs_fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+Program
+assemble(std::string_view source)
+{
+    return AssemblerPass(parseLines(source)).run();
+}
+
+} // namespace rrs::isa

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Two-pass assembler for the rrsim ISA.
+ *
+ * Accepted syntax (one statement per line; `;` and `//` start comments):
+ *
+ *     .text                    ; switch to text segment (default)
+ *     .data                    ; switch to data segment
+ *     .equ NAME, 123           ; define an assembly-time constant
+ *     .word 1, 2, 3            ; emit 8-byte little-endian words (data)
+ *     .double 1.5, 2.5         ; emit 8-byte doubles (data)
+ *     .space 256               ; reserve zeroed bytes (data)
+ *     label:                   ; define a label at the current address
+ *
+ *     add   x1, x2, x3
+ *     addi  x1, x2, #8
+ *     movz  x1, #42            ; or: movz x1, =label
+ *     ldr   x1, [x2, #16]      ; offset optional
+ *     str   x1, [x2]
+ *     fmadd f0, f1, f2, f3
+ *     beq   x1, x2, loop
+ *     bl    function
+ *     ret
+ *
+ * Register names: x0..x30, xzr (== x31, reads zero), sp (== x28 by
+ * convention), lr (== x30), f0..f31.  Immediates: decimal, 0x-hex,
+ * optionally prefixed with '#', or '=symbol' for a symbol address, or a
+ * name defined with .equ.
+ */
+
+#ifndef RRS_ISA_ASSEMBLER_HH
+#define RRS_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.hh"
+
+namespace rrs::isa {
+
+/**
+ * Assemble a source string into a Program.  Errors (unknown mnemonic,
+ * bad operand, undefined label) terminate via fatal() with the line
+ * number; assembler input in this repo is repository-controlled, so an
+ * assembly error is a build bug, not a recoverable condition.
+ */
+Program assemble(std::string_view source);
+
+} // namespace rrs::isa
+
+#endif // RRS_ISA_ASSEMBLER_HH

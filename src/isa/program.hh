@@ -1,0 +1,86 @@
+/**
+ * @file
+ * An assembled program: the text segment (StaticInst vector), the
+ * initialised data segment, and the symbol table.  Produced by the
+ * Assembler, consumed by the functional emulator.
+ */
+
+#ifndef RRS_ISA_PROGRAM_HH
+#define RRS_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace rrs::isa {
+
+/** Base virtual address of the data segment. */
+constexpr Addr dataBase = 0x1000000;
+
+/** Base virtual address of the stack (grows downwards). */
+constexpr Addr stackBase = 0x7ff00000;
+
+/** A contiguous run of initialised data bytes. */
+struct DataChunk
+{
+    Addr addr;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * An assembled program.  Instructions live at
+ * pc = textBase + instBytes * index.
+ */
+class Program
+{
+  public:
+    /** Instruction storage, index i lives at pcOf(i). */
+    std::vector<StaticInst> text;
+
+    /** Initialised data (copied into emulator memory at load). */
+    std::vector<DataChunk> data;
+
+    /** Label / symbol addresses (text labels and data labels). */
+    std::unordered_map<std::string, Addr> symbols;
+
+    /** Entry point (defaults to textBase; overridable via `_start:`). */
+    Addr entry = textBase;
+
+    /** PC of instruction index i. */
+    static Addr pcOf(std::size_t i) { return textBase + instBytes * i; }
+
+    /** Instruction index of a text-segment PC. */
+    static std::size_t
+    indexOf(Addr pc)
+    {
+        return static_cast<std::size_t>((pc - textBase) / instBytes);
+    }
+
+    /** True if pc falls inside the text segment. */
+    bool
+    validPc(Addr pc) const
+    {
+        return pc >= textBase && (pc - textBase) % instBytes == 0 &&
+               indexOf(pc) < text.size();
+    }
+
+    /** Instruction at a text-segment PC. */
+    const StaticInst &
+    instAt(Addr pc) const
+    {
+        return text[indexOf(pc)];
+    }
+
+    /** Address of a symbol; fatal if undefined. */
+    Addr symbol(const std::string &name) const;
+
+    /** Number of static instructions. */
+    std::size_t size() const { return text.size(); }
+};
+
+} // namespace rrs::isa
+
+#endif // RRS_ISA_PROGRAM_HH

@@ -1,0 +1,250 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace rrs::mem {
+
+Cache::Cache(const CacheParams &params, Cache *below, Dram *dram,
+             stats::Group *parent)
+    : stats::Group(params.name, parent), params(params),
+      sets(static_cast<std::uint32_t>(params.sizeBytes /
+                                      (params.lineBytes * params.assoc))),
+      below(below), dram(dram),
+      lines(sets * params.assoc), mshrFile(params.mshrs),
+      hits(this, "hits", "demand hits"),
+      misses(this, "misses", "demand misses"),
+      mshrMerges(this, "mshrMerges", "misses merged into pending MSHRs"),
+      mshrStalls(this, "mshrStalls", "stall events due to full MSHRs"),
+      writebacks(this, "writebacks", "dirty evictions"),
+      prefetches(this, "prefetches", "prefetch fills issued")
+{
+    rrs_assert((below == nullptr) != (dram == nullptr),
+               "cache needs exactly one of a lower cache or DRAM");
+    rrs_assert(sets > 0, "cache too small for its associativity");
+}
+
+void
+Cache::setPrefetcher(std::unique_ptr<Prefetcher> pf)
+{
+    prefetcher = std::move(pf);
+}
+
+void
+Cache::resetState()
+{
+    std::fill(lines.begin(), lines.end(), Line{});
+    std::fill(mshrFile.begin(), mshrFile.end(), Mshr{});
+    lruTick = 0;
+    if (prefetcher)
+        prefetcher->resetState();
+    if (below)
+        below->resetState();
+    if (dram)
+        dram->resetState();
+}
+
+std::uint32_t
+Cache::setIndex(Addr line) const
+{
+    return static_cast<std::uint32_t>(line % sets);
+}
+
+Cache::Line *
+Cache::findLine(Addr line)
+{
+    const std::uint32_t base = setIndex(line) * params.assoc;
+    for (std::uint32_t w = 0; w < params.assoc; ++w) {
+        Line &l = lines[base + w];
+        if (l.valid && l.tag == line)
+            return &l;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line) const
+{
+    return const_cast<Cache *>(this)->findLine(line);
+}
+
+Cache::Line &
+Cache::victimLine(Addr line)
+{
+    const std::uint32_t base = setIndex(line) * params.assoc;
+    Line *victim = &lines[base];
+    for (std::uint32_t w = 0; w < params.assoc; ++w) {
+        Line &l = lines[base + w];
+        if (!l.valid)
+            return l;
+        if (l.lru < victim->lru)
+            victim = &l;
+    }
+    if (victim->dirty) {
+        // Dirty eviction: the writeback proceeds in the background (it
+        // does not delay the demand fill) but is counted, and it pushes
+        // the line to the level below for inclusion bookkeeping.
+        ++writebacks;
+    }
+    return *victim;
+}
+
+Tick
+Cache::fillFromBelow(Addr addr, Tick now, bool isPrefetch)
+{
+    Tick done;
+    if (below) {
+        done = below->access(addr, false, now);
+    } else {
+        done = dram->access(addr / params.lineBytes, now);
+    }
+    if (isPrefetch)
+        ++prefetches;
+    return done;
+}
+
+bool
+Cache::contains(Addr addr, Tick now) const
+{
+    const Line *l = findLine(lineAddr(addr));
+    return l != nullptr && l->fillDone <= now;
+}
+
+Tick
+Cache::access(Addr addr, bool write, Tick now)
+{
+    const Addr line = lineAddr(addr);
+
+    // Prefetcher observes every demand access (pc-less form uses the
+    // address as the index key; the core calls prefetch via observe()).
+    Line *hitLine = findLine(line);
+    if (hitLine) {
+        hitLine->lru = ++lruTick;
+        hitLine->dirty = hitLine->dirty || write;
+        // A line still in flight (MSHR hit) is ready at fillDone.
+        Tick ready = std::max(now, hitLine->fillDone) + params.hitLatency;
+        if (hitLine->fillDone <= now)
+            ++hits;
+        else
+            ++mshrMerges;
+        return ready;
+    }
+
+    ++misses;
+
+    // Check for a pending MSHR on the same line (shouldn't normally
+    // happen because the fill installs the line immediately, but a
+    // conflicting eviction can re-miss a pending line).
+    for (auto &m : mshrFile) {
+        if (m.valid && m.lineAddr == line) {
+            ++mshrMerges;
+            return std::max(now, m.done) + params.hitLatency;
+        }
+    }
+
+    // Allocate an MSHR: if all are busy, stall until the earliest one
+    // frees (structural hazard).
+    Mshr *slot = nullptr;
+    Tick earliest = ~Tick{0};
+    for (auto &m : mshrFile) {
+        if (!m.valid || m.done <= now) {
+            slot = &m;
+            break;
+        }
+        earliest = std::min(earliest, m.done);
+    }
+    Tick start = now;
+    if (!slot) {
+        ++mshrStalls;
+        start = earliest;
+        for (auto &m : mshrFile) {
+            if (m.done == earliest)
+                slot = &m;
+        }
+    }
+
+    Tick done = fillFromBelow(addr, start, false);
+    slot->valid = true;
+    slot->lineAddr = line;
+    slot->done = done;
+
+    // Install the line now with its availability time.
+    Line &victim = victimLine(line);
+    victim.valid = true;
+    victim.tag = line;
+    victim.dirty = write;
+    victim.lru = ++lruTick;
+    victim.fillDone = done;
+
+    return done + params.hitLatency;
+}
+
+void
+Cache::prefetch(Addr addr, Tick now)
+{
+    const Addr line = lineAddr(addr);
+    if (findLine(line))
+        return;
+    // Prefetches only proceed when an MSHR is free; they never stall.
+    for (auto &m : mshrFile) {
+        if (!m.valid || m.done <= now) {
+            Tick done = fillFromBelow(addr, now, true);
+            m.valid = true;
+            m.lineAddr = line;
+            m.done = done;
+            Line &victim = victimLine(line);
+            victim.valid = true;
+            victim.tag = line;
+            victim.dirty = false;
+            victim.lru = ++lruTick;
+            victim.fillDone = done;
+            return;
+        }
+    }
+}
+
+Prefetcher::Prefetcher(std::uint32_t tableEntries, std::uint32_t degree)
+    : table(tableEntries), degree(degree)
+{
+}
+
+void
+Prefetcher::resetState()
+{
+    std::fill(table.begin(), table.end(), Entry{});
+}
+
+std::vector<Addr>
+Prefetcher::observe(Addr pc, Addr addr)
+{
+    Entry &e = table[hashMix(pc) % table.size()];
+    std::vector<Addr> out;
+    if (e.valid && e.pc == pc) {
+        std::int64_t stride =
+            static_cast<std::int64_t>(addr) -
+            static_cast<std::int64_t>(e.lastAddr);
+        if (stride != 0 && stride == e.stride) {
+            if (e.confidence < 3)
+                ++e.confidence;
+        } else {
+            e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+            if (e.confidence == 0)
+                e.stride = stride;
+        }
+        if (e.confidence >= 2 && e.stride != 0) {
+            for (std::uint32_t d = 1; d <= degree; ++d) {
+                out.push_back(static_cast<Addr>(
+                    static_cast<std::int64_t>(addr) +
+                    static_cast<std::int64_t>(d) * e.stride));
+            }
+        }
+        e.lastAddr = addr;
+    } else {
+        e = Entry{true, pc, addr, 0, 0};
+    }
+    return out;
+}
+
+} // namespace rrs::mem

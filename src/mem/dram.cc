@@ -1,0 +1,81 @@
+#include "dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rrs::mem {
+
+Dram::Dram(const DramParams &params, stats::Group *parent)
+    : stats::Group("dram", parent), params(params),
+      banks(params.ranks * params.banksPerRank),
+      reads(this, "reads", "line accesses"),
+      rowHits(this, "rowHits", "row-buffer hits"),
+      rowMisses(this, "rowMisses", "row misses (closed row)"),
+      rowConflicts(this, "rowConflicts", "row conflicts (other row open)"),
+      latency(this, "latency", "access latency in cycles")
+{
+    rrs_assert(!banks.empty(), "DRAM needs at least one bank");
+}
+
+void
+Dram::resetState()
+{
+    for (auto &b : banks)
+        b = Bank{};
+    busReadyAt = 0;
+}
+
+std::uint32_t
+Dram::bankIndex(Addr addr) const
+{
+    // Interleave consecutive rows across banks.
+    return static_cast<std::uint32_t>((addr / params.rowBytes) %
+                                      banks.size());
+}
+
+Addr
+Dram::rowIndex(Addr addr) const
+{
+    return addr / params.rowBytes / banks.size();
+}
+
+Tick
+Dram::access(Addr addr, Tick now)
+{
+    ++reads;
+    Bank &bank = banks[bankIndex(addr)];
+    const Addr row = rowIndex(addr);
+
+    // Model refresh as a periodic window during which banks are busy.
+    const Tick refiPhase = now % params.tRefi;
+    Tick start = now;
+    if (refiPhase < params.refreshCycles)
+        start += params.refreshCycles - refiPhase;
+    start = std::max(start, bank.readyAt);
+
+    Cycles access_lat;
+    if (bank.rowOpen && bank.openRow == row) {
+        ++rowHits;
+        access_lat = params.tCas;
+    } else if (!bank.rowOpen) {
+        ++rowMisses;
+        access_lat = params.tRcd + params.tCas;
+    } else {
+        ++rowConflicts;
+        access_lat = params.tRp + params.tRcd + params.tCas;
+    }
+    bank.rowOpen = true;
+    bank.openRow = row;
+
+    // Serialise the data burst on the shared bus.
+    Tick data_start = std::max(start + access_lat, busReadyAt);
+    Tick done = data_start + params.burst;
+    busReadyAt = done;
+    bank.readyAt = start + access_lat;
+
+    latency.sample(static_cast<double>(done - now));
+    return done;
+}
+
+} // namespace rrs::mem

@@ -1,0 +1,51 @@
+#include "memsystem.hh"
+
+namespace rrs::mem {
+
+MemSystem::MemSystem(const MemSystemParams &params, stats::Group *parent)
+    : stats::Group("mem", parent), params(params)
+{
+    mainMem = std::make_unique<Dram>(params.dram, this);
+    l2Cache = std::make_unique<Cache>(params.l2, nullptr, mainMem.get(),
+                                      this);
+    l1iCache = std::make_unique<Cache>(params.l1i, l2Cache.get(), nullptr,
+                                       this);
+    l1dCache = std::make_unique<Cache>(params.l1d, l2Cache.get(), nullptr,
+                                       this);
+    dtlb = std::make_unique<Tlb>(params.tlb, this);
+    if (params.stridePrefetcher) {
+        stride = std::make_unique<Prefetcher>(64, params.prefetchDegree);
+    }
+}
+
+void
+MemSystem::resetState()
+{
+    // L1 resets cascade into L2/DRAM; reset the L2 chain only once.
+    l1iCache->resetState();
+    // l1d shares l2: reset only its own arrays to avoid double work.
+    l1dCache->resetState();
+    dtlb->resetState();
+    if (stride)
+        stride->resetState();
+}
+
+Tick
+MemSystem::fetchAccess(Addr pc, Tick now)
+{
+    return l1iCache->access(pc, false, now);
+}
+
+Tick
+MemSystem::dataAccess(Addr pc, Addr addr, bool write, Tick now)
+{
+    TlbResult tr = dtlb->translate(addr);
+    Tick start = now + tr.latency;
+    if (stride) {
+        for (Addr pf : stride->observe(pc, addr))
+            l1dCache->prefetch(pf, start);
+    }
+    return l1dCache->access(addr, write, start);
+}
+
+} // namespace rrs::mem

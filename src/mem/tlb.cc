@@ -1,0 +1,45 @@
+#include "tlb.hh"
+
+#include <algorithm>
+
+namespace rrs::mem {
+
+Tlb::Tlb(const TlbParams &params, stats::Group *parent)
+    : stats::Group("tlb", parent), params(params),
+      entries(params.entries),
+      lookups(this, "lookups", "translations requested"),
+      misses(this, "misses", "TLB misses (page walks)")
+{
+}
+
+void
+Tlb::resetState()
+{
+    std::fill(entries.begin(), entries.end(), Entry{});
+    lruTick = 0;
+}
+
+TlbResult
+Tlb::translate(Addr vaddr)
+{
+    ++lookups;
+    const Addr vpn = vaddr / params.pageBytes;
+    Entry *victim = &entries[0];
+    for (auto &e : entries) {
+        if (e.valid && e.vpn == vpn) {
+            e.lru = ++lruTick;
+            return TlbResult{true, 0};
+        }
+        if (!e.valid)
+            victim = &e;
+        else if (victim->valid && e.lru < victim->lru)
+            victim = &e;
+    }
+    ++misses;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lru = ++lruTick;
+    return TlbResult{false, params.walkLatency};
+}
+
+} // namespace rrs::mem

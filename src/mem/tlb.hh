@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fully-associative LRU TLB (paper Table I: 48-entry L1 TLB) with a
+ * fixed page-walk cost on misses.  Also exposes miss events so the
+ * harness can turn a configurable fraction of them into page-fault
+ * exceptions for the precise-exception experiments.
+ */
+
+#ifndef RRS_MEM_TLB_HH
+#define RRS_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace rrs::mem {
+
+/** TLB parameters. */
+struct TlbParams
+{
+    std::uint32_t entries = 48;
+    std::uint64_t pageBytes = 4096;
+    Cycles walkLatency = 30;   //!< page table walk cost on a miss
+};
+
+/** Result of a translation. */
+struct TlbResult
+{
+    bool hit = true;
+    Cycles latency = 0;   //!< extra cycles beyond the cache access
+};
+
+/** Fully-associative, LRU-replaced TLB. */
+class Tlb : public stats::Group
+{
+  public:
+    explicit Tlb(const TlbParams &params, stats::Group *parent = nullptr);
+
+    /** Translate; misses insert the page and charge the walk. */
+    TlbResult translate(Addr vaddr);
+
+    void resetState();
+
+    std::uint64_t missCount() const
+    {
+        return static_cast<std::uint64_t>(misses.value());
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr vpn = 0;
+        std::uint64_t lru = 0;
+    };
+
+    TlbParams params;
+    std::vector<Entry> entries;
+    std::uint64_t lruTick = 0;
+
+    stats::Scalar lookups;
+    stats::Scalar misses;
+};
+
+} // namespace rrs::mem
+
+#endif // RRS_MEM_TLB_HH

@@ -1,0 +1,106 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace rrs::stats {
+
+StatBase::StatBase(Group *parent, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    rrs_assert(parent != nullptr, "stat needs a parent group");
+    parent->addStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << val << "  # " << desc() << "\n";
+}
+
+void
+Average::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << mean() << "  # " << desc()
+       << " (samples=" << n << " min=" << min() << " max=" << max()
+       << ")\n";
+}
+
+double
+Distribution::fractionAtLeast(std::uint64_t lo) const
+{
+    if (!total)
+        return 0.0;
+    std::uint64_t c = 0;
+    for (auto it = counts.lower_bound(lo); it != counts.end(); ++it)
+        c += it->second;
+    return static_cast<double>(c) / static_cast<double>(total);
+}
+
+double
+Distribution::mean() const
+{
+    if (!total)
+        return 0.0;
+    double sum = 0;
+    for (const auto &[k, v] : counts)
+        sum += static_cast<double>(k) * static_cast<double>(v);
+    return sum / static_cast<double>(total);
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::samples " << total << "  # " << desc()
+       << "\n";
+    for (const auto &[k, v] : counts) {
+        os << prefix << name() << "::" << k << " " << v << " ("
+           << std::fixed << std::setprecision(2)
+           << (100.0 * fraction(k)) << "%)\n";
+        os.unsetf(std::ios_base::floatfield);
+    }
+}
+
+Group::Group(std::string name, Group *parent)
+    : groupName(std::move(name)), parent(parent)
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+Group::~Group()
+{
+    if (parent)
+        parent->removeChild(this);
+}
+
+void
+Group::removeChild(Group *g)
+{
+    children.erase(std::remove(children.begin(), children.end(), g),
+                   children.end());
+}
+
+void
+Group::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string self = prefix.empty() ? groupName + "."
+                                      : prefix + groupName + ".";
+    for (const auto *stat : statList)
+        stat->dump(os, self);
+    for (const auto *child : children)
+        child->dump(os, self);
+}
+
+void
+Group::resetStats()
+{
+    for (auto *stat : statList)
+        stat->reset();
+    for (auto *child : children)
+        child->resetStats();
+}
+
+} // namespace rrs::stats

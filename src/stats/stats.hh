@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Lightweight statistics package, modelled on gem5's: named scalar
+ * counters, averages, sparse integer distributions, and fixed-bucket
+ * histograms, organised into groups that can be dumped as text.
+ *
+ * Stats are plain members of the owning model object and register
+ * themselves with the owner's Group; dumping a Group walks its stats in
+ * registration order so reports are stable across runs.
+ */
+
+#ifndef RRS_STATS_STATS_HH
+#define RRS_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rrs::stats {
+
+class Group;
+
+/** Base class for every statistic: a name, a description, a dump. */
+class StatBase
+{
+  public:
+    StatBase(Group *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Write "name value # desc" lines to the stream. */
+    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the freshly-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** Monotonic (or at least scalar) counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(Group *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc)) {}
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(double v) { val += v; return *this; }
+    Scalar &operator=(double v) { val = v; return *this; }
+
+    double value() const { return val; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { val = 0; }
+
+  private:
+    double val = 0;
+};
+
+/**
+ * Arithmetic mean of sampled values (e.g. occupancy sampled each
+ * cycle).  Also tracks min and max.
+ */
+class Average : public StatBase
+{
+  public:
+    Average(Group *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc)) {}
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+        if (n == 1 || v < minV)
+            minV = v;
+        if (n == 1 || v > maxV)
+            maxV = v;
+    }
+
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    std::uint64_t samples() const { return n; }
+    double min() const { return n ? minV : 0.0; }
+    double max() const { return n ? maxV : 0.0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { sum = 0; n = 0; minV = 0; maxV = 0; }
+
+  private:
+    double sum = 0;
+    std::uint64_t n = 0;
+    double minV = 0;
+    double maxV = 0;
+};
+
+/**
+ * Sparse distribution over non-negative integer keys (e.g. "number of
+ * consumers of a value": how many values had exactly k consumers).
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(Group *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc)) {}
+
+    void sample(std::uint64_t key, std::uint64_t weight = 1)
+    {
+        counts[key] += weight;
+        total += weight;
+    }
+
+    std::uint64_t count(std::uint64_t key) const
+    {
+        auto it = counts.find(key);
+        return it == counts.end() ? 0 : it->second;
+    }
+
+    std::uint64_t samples() const { return total; }
+
+    /** Fraction of samples with the exact key. */
+    double fraction(std::uint64_t key) const
+    {
+        return total ? static_cast<double>(count(key)) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Fraction of samples with key >= lo. */
+    double fractionAtLeast(std::uint64_t lo) const;
+
+    double mean() const;
+
+    const std::map<std::uint64_t, std::uint64_t> &raw() const
+    {
+        return counts;
+    }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { counts.clear(); total = 0; }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> counts;
+    std::uint64_t total = 0;
+};
+
+/**
+ * A named collection of statistics.  Groups nest; dumping the root
+ * dumps the whole tree with dotted prefixes (gem5 style).
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name, Group *parent = nullptr);
+    virtual ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return groupName; }
+
+    /** Dump this group and all children to a stream. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats in this group and all children. */
+    void resetStats();
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat) { statList.push_back(stat); }
+    void addChild(Group *g) { children.push_back(g); }
+    void removeChild(Group *g);
+
+    std::string groupName;
+    Group *parent;
+    std::vector<StatBase *> statList;
+    std::vector<Group *> children;
+};
+
+} // namespace rrs::stats
+
+#endif // RRS_STATS_STATS_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Cognitive-computing kernels mirroring the paper's GMM and DNN
+ * additions: a GMM acoustic-scoring distance kernel (weighted
+ * Mahalanobis accumulation with a running max, the arithmetic core of
+ * acoustic scoring) and a dense fully-connected DNN layer with ReLU.
+ */
+
+#include "workloads.hh"
+
+namespace rrs::workloads {
+
+// GMM scoring: for F frames of dimension DIM against M diagonal
+// Gaussians, score_m = -0.5 * sum_d prec[m][d] * (x[d]-mu[m][d])^2,
+// keeping the best score per frame (max-approximation of log-sum-exp,
+// as in acoustic scoring).
+const char *srcCogGmm = R"(
+    .equ F, 192
+    .equ M, 32
+    .equ DIM, 16
+    .data
+frames:
+    .space 24576
+mu:
+    .space 4096
+prec:
+    .space 4096
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =frames          ; ---- init frames, mu, prec ----
+    movz x2, #4096            ; F*DIM + 2*M*DIM doubles
+    movz x3, #8642
+init:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #16777216.0
+    fdiv f0, f0, f1
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, init
+warmup_done:
+    fmovi f20, #0.0           ; total score
+    movz x5, #0               ; frame
+floop:
+    fmovi f10, #-1000000.0    ; best score
+    movz x6, #0               ; mixture
+mloop:
+    fmovi f2, #0.0            ; acc
+    movz x7, #0               ; d
+dloop:
+    movz x8, =frames
+    muli x9, x5, #DIM
+    add x9, x9, x7
+    lsli x9, x9, #3
+    add x9, x8, x9
+    fldr f3, [x9]             ; x[d]
+    movz x8, =mu
+    muli x10, x6, #DIM
+    add x10, x10, x7
+    lsli x10, x10, #3
+    add x11, x8, x10
+    fldr f4, [x11]            ; mu[m][d]
+    movz x8, =prec
+    add x12, x8, x10
+    fldr f5, [x12]            ; prec[m][d]
+    fsub f6, f3, f4
+    fmul f7, f6, f6
+    fmadd f2, f7, f5, f2      ; acc += prec*(x-mu)^2
+    addi x7, x7, #1
+    movz x13, #DIM
+    blt x7, x13, dloop
+    fmovi f8, #-0.5
+    fmul f9, f2, f8           ; score
+    fmax f10, f10, f9         ; best = max(best, score)
+    addi x6, x6, #1
+    movz x13, #M
+    blt x6, x13, mloop
+    fadd f20, f20, f10
+    addi x5, x5, #1
+    movz x13, #F
+    blt x5, x13, floop
+    fmovi f1, #1024.0
+    fmul f20, f20, f1
+    fcvti x2, f20
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+// Dense fully-connected DNN layer: OUT neurons x IN inputs, batch
+// BATCH, ReLU activation via fmax.
+const char *srcCogDnn = R"(
+    .equ IN, 128
+    .equ OUT, 64
+    .equ BATCH, 8
+    .data
+weights:
+    .space 65536
+bias:
+    .space 512
+acts:
+    .space 8192
+outbuf:
+    .space 4096
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =weights         ; ---- init weights + bias + acts ----
+    movz x2, #9280            ; OUT*IN + OUT + BATCH*IN doubles
+    movz x3, #97531
+init:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #16777216.0
+    fdiv f0, f0, f1
+    fmovi f2, #-0.5
+    fadd f0, f0, f2           ; centre around zero
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, init
+warmup_done:
+    fmovi f20, #0.0
+    movz x5, #0               ; batch element
+bloop:
+    movz x6, #0               ; output neuron
+oloop:
+    movz x7, =bias
+    lsli x8, x6, #3
+    add x8, x7, x8
+    fldr f2, [x8]             ; acc = bias[o]
+    movz x9, #0               ; input index
+iloop:
+    movz x10, =weights
+    muli x11, x6, #IN
+    add x11, x11, x9
+    lsli x11, x11, #3
+    add x11, x10, x11
+    fldr f3, [x11]            ; w[o][i]
+    movz x10, =acts
+    muli x12, x5, #IN
+    add x12, x12, x9
+    lsli x12, x12, #3
+    add x12, x10, x12
+    fldr f4, [x12]            ; a[b][i]
+    fmadd f2, f3, f4, f2
+    addi x9, x9, #1
+    movz x13, #IN
+    blt x9, x13, iloop
+    fmovi f5, #0.0
+    fmax f2, f2, f5           ; ReLU
+    movz x10, =outbuf
+    muli x14, x5, #OUT
+    add x14, x14, x6
+    lsli x14, x14, #3
+    add x14, x10, x14
+    fstr f2, [x14]
+    fadd f20, f20, f2
+    addi x6, x6, #1
+    movz x13, #OUT
+    blt x6, x13, oloop
+    addi x5, x5, #1
+    movz x13, #BATCH
+    blt x5, x13, bloop
+    fmovi f1, #1024.0
+    fmul f20, f20, f1
+    fcvti x2, f20
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+} // namespace rrs::workloads

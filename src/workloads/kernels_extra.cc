@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Additional kernels rounding out the suites: an LZ77-style match
+ * finder (compression, SPECint-like), a separable Gaussian blur
+ * (SPECfp-like), G.711 a-law companding (Mediabench-like) and a k-NN
+ * distance kernel (cognitive).
+ */
+
+#include "workloads.hh"
+
+namespace rrs::workloads {
+
+// LZ77-style longest-match search with a hash-head/prev chain, the
+// core loop of every LZ-class compressor.
+const char *srcIntLz = R"(
+    .equ N, 16384
+    .equ HBITS, 12
+    .data
+text:
+    .space 16384
+head:
+    .space 32768
+prev:
+    .space 131072
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =text            ; ---- synth text: skewed alphabet ----
+    movz x2, #N
+    movz x3, #424243
+fill:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #33
+    andi x4, x4, #7           ; 8 symbols: repeats are common
+    strb x4, [x1]
+    addi x1, x1, #1
+    subi x2, x2, #1
+    bne x2, xzr, fill
+    movz x1, =head            ; clear hash heads (4096 entries)
+    movz x2, #4096
+clear:
+    str xzr, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, clear
+warmup_done:
+    movz x26, #0              ; total match length found
+    movz x5, #3               ; position (need 3 bytes of context)
+    movz x6, #16380           ; last position (N - 4)
+scan:
+    ; hash = (t[i] | t[i+1]<<8 | t[i+2]<<16) * 2654435761 >> 20, 12 bits
+    movz x7, =text
+    add x8, x7, x5
+    ldrb x9, [x8]
+    ldrb x10, [x8, #1]
+    ldrb x11, [x8, #2]
+    lsli x10, x10, #8
+    lsli x11, x11, #16
+    orr x9, x9, x10
+    orr x9, x9, x11
+    muli x9, x9, #2654435761
+    lsri x9, x9, #20
+    andi x9, x9, #4095        ; hash bucket
+    ; candidate = head[hash]; head[hash] = i; prev[i] = candidate
+    movz x12, =head
+    lsli x13, x9, #3
+    add x13, x12, x13
+    ldr x14, [x13]            ; candidate position (0 = none)
+    str x5, [x13]
+    movz x15, =prev
+    lsli x16, x5, #3
+    add x16, x15, x16
+    str x14, [x16]
+    ; follow the chain up to 4 candidates, track best match length
+    movz x17, #0              ; best length
+    movz x18, #4              ; chain budget
+chain:
+    beq x14, xzr, done_chain
+    beq x18, xzr, done_chain
+    ; match length at candidate (cap 16)
+    movz x19, #0
+mloop:
+    add x20, x7, x5
+    add x20, x20, x19
+    ldrb x21, [x20]
+    add x22, x7, x14
+    add x22, x22, x19
+    ldrb x23, [x22]
+    bne x21, x23, mdone
+    addi x19, x19, #1
+    movz x24, #16
+    blt x19, x24, mloop
+mdone:
+    bge x17, x19, nobest
+    mov x17, x19
+nobest:
+    ; candidate = prev[candidate]
+    lsli x16, x14, #3
+    add x16, x15, x16
+    ldr x14, [x16]
+    subi x18, x18, #1
+    b chain
+done_chain:
+    add x26, x26, x17
+    addi x5, x5, #1
+    blt x5, x6, scan
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+// Separable 5-tap Gaussian blur over a GxG double image.
+const char *srcFpBlur = R"(
+    .equ G, 72
+    .data
+img:
+    .space 41472
+tmp2:
+    .space 41472
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =img             ; ---- init image ----
+    movz x2, #5184            ; G*G
+    movz x3, #31337
+init:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #16777216.0
+    fdiv f0, f0, f1
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, init
+warmup_done:
+    ; 5-tap kernel 1/16 * [1 4 6 4 1], horizontal then vertical
+    fmovi f10, #0.0625
+    fmovi f11, #0.25
+    fmovi f12, #0.375
+    movz x5, #0               ; row
+hrow:
+    movz x6, #2               ; col in [2, G-3]
+hcol:
+    movz x7, =img
+    muli x8, x5, #G
+    add x8, x8, x6
+    lsli x8, x8, #3
+    add x8, x7, x8
+    fldr f0, [x8, #-16]
+    fldr f1, [x8, #-8]
+    fldr f2, [x8]
+    fldr f3, [x8, #8]
+    fldr f4, [x8, #16]
+    fmul f5, f0, f10
+    fmadd f5, f1, f11, f5
+    fmadd f5, f2, f12, f5
+    fmadd f5, f3, f11, f5
+    fmadd f5, f4, f10, f5
+    movz x9, =tmp2
+    muli x10, x5, #G
+    add x10, x10, x6
+    lsli x10, x10, #3
+    add x10, x9, x10
+    fstr f5, [x10]
+    addi x6, x6, #1
+    movz x11, #69             ; G-3
+    bge x11, x6, hcol
+    addi x5, x5, #1
+    movz x11, #G
+    blt x5, x11, hrow
+    movz x5, #2               ; vertical pass, row in [2, G-3]
+vrow:
+    movz x6, #2
+vcol:
+    movz x7, =tmp2
+    muli x8, x5, #G
+    add x8, x8, x6
+    lsli x8, x8, #3
+    add x8, x7, x8
+    movz x12, #576            ; G*8
+    lsli x13, x12, #1         ; 2*G*8
+    sub x14, x8, x13
+    fldr f0, [x14]
+    sub x14, x8, x12
+    fldr f1, [x14]
+    fldr f2, [x8]
+    add x14, x8, x12
+    fldr f3, [x14]
+    add x14, x8, x13
+    fldr f4, [x14]
+    fmul f5, f0, f10
+    fmadd f5, f1, f11, f5
+    fmadd f5, f2, f12, f5
+    fmadd f5, f3, f11, f5
+    fmadd f5, f4, f10, f5
+    movz x9, =img
+    muli x10, x5, #G
+    add x10, x10, x6
+    lsli x10, x10, #3
+    add x10, x9, x10
+    fstr f5, [x10]
+    addi x6, x6, #1
+    movz x11, #69
+    bge x11, x6, vcol
+    addi x5, x5, #1
+    bge x11, x5, vrow
+    movz x1, =img             ; checksum centre pixel
+    movz x15, #21024          ; (G/2*G + G/2)*8 = (36*72+36)*8
+    add x1, x1, x15
+    fldr f0, [x1]
+    fmovi f1, #1048576.0
+    fmul f0, f0, f1
+    fcvti x2, f0
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+// G.711 a-law companding: encode then decode PCM samples, accumulating
+// the reconstruction; the segment search is the classic branchy loop.
+const char *srcMediaG711 = R"(
+    .equ N, 12288
+    .data
+pcm:
+    .space 98304
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =pcm             ; ---- synth samples in [-32768, 32767]
+    movz x2, #N
+    movz x3, #777777
+fill:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #33
+    andi x4, x4, #65535
+    movz x5, #32768
+    sub x4, x4, x5
+    str x4, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, fill
+warmup_done:
+    movz x26, #0
+    movz x1, =pcm
+    movz x2, #N
+sample:
+    ldr x4, [x1]
+    movz x9, #0               ; sign bit
+    bge x4, xzr, pos
+    movz x9, #0x80
+    sub x4, xzr, x4
+    subi x4, x4, #1
+pos:
+    ; find segment: exponent of (mag >> 4), 8 segments
+    lsri x5, x4, #4
+    movz x6, #0               ; segment
+seg:
+    movz x7, #16
+    blt x5, x7, segdone
+    lsri x5, x5, #1
+    addi x6, x6, #1
+    movz x7, #7
+    blt x6, x7, seg
+segdone:
+    ; quantised mantissa: 4 bits below the segment point
+    addi x8, x6, #1
+    lsr x10, x4, x8
+    andi x10, x10, #0xf
+    lsli x11, x6, #4
+    orr x11, x11, x10
+    orr x11, x11, x9          ; code byte
+    ; ---- decode back ----
+    andi x12, x11, #0x70
+    lsri x12, x12, #4         ; segment
+    andi x13, x11, #0xf       ; mantissa
+    lsli x13, x13, #1
+    addi x13, x13, #33        ; 2*m + 33
+    addi x14, x12, #1
+    lsl x13, x13, x14
+    lsri x13, x13, #1         ; reconstructed magnitude
+    andi x15, x11, #0x80
+    beq x15, xzr, store
+    sub x13, xzr, x13
+store:
+    add x26, x26, x13
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, sample
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+// k-nearest-neighbour scoring: Q queries against R reference vectors
+// (dim 8), maintaining the best-3 distances by insertion.
+const char *srcCogKnn = R"(
+    .equ Q, 48
+    .equ REFS, 192
+    .equ DIM, 8
+    .data
+queries:
+    .space 3072
+refs:
+    .space 12288
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =queries         ; ---- init queries + refs ----
+    movz x2, #1920            ; (Q + REFS) * DIM
+    movz x3, #246810
+init:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #16777216.0
+    fdiv f0, f0, f1
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, init
+warmup_done:
+    fmovi f20, #0.0           ; sum of best-3 distances
+    movz x5, #0               ; query index
+qloop:
+    fmovi f10, #1000000.0     ; best
+    fmovi f11, #1000000.0     ; second
+    fmovi f12, #1000000.0     ; third
+    movz x6, #0               ; ref index
+rloop:
+    fmovi f2, #0.0            ; distance accumulator
+    movz x7, #0               ; dim
+dloop:
+    movz x8, =queries
+    muli x9, x5, #DIM
+    add x9, x9, x7
+    lsli x9, x9, #3
+    add x9, x8, x9
+    fldr f3, [x9]
+    movz x8, =refs
+    muli x10, x6, #DIM
+    add x10, x10, x7
+    lsli x10, x10, #3
+    add x10, x8, x10
+    fldr f4, [x10]
+    fsub f5, f3, f4
+    fmadd f2, f5, f5, f2
+    addi x7, x7, #1
+    movz x11, #DIM
+    blt x7, x11, dloop
+    ; insertion into best-3
+    flt x12, f2, f10
+    beq x12, xzr, try2
+    fmov f12, f11
+    fmov f11, f10
+    fmov f10, f2
+    b inserted
+try2:
+    flt x12, f2, f11
+    beq x12, xzr, try3
+    fmov f12, f11
+    fmov f11, f2
+    b inserted
+try3:
+    flt x12, f2, f12
+    beq x12, xzr, inserted
+    fmov f12, f2
+inserted:
+    addi x6, x6, #1
+    movz x11, #REFS
+    blt x6, x11, rloop
+    fadd f13, f10, f11
+    fadd f13, f13, f12
+    fadd f20, f20, f13
+    addi x5, x5, #1
+    movz x11, #Q
+    blt x5, x11, qloop
+    fmovi f1, #1024.0
+    fmul f20, f20, f1
+    fcvti x2, f20
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+} // namespace rrs::workloads

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * SPECfp-style floating-point kernels: dense matmul, FIR filtering, a
+ * Jacobi stencil, an n-body step, Horner polynomial evaluation and a
+ * chained elementwise pipeline.  Long arithmetic dependence chains and
+ * the high single-use value fractions the paper reports for SPECfp.
+ */
+
+#include "workloads.hh"
+
+namespace rrs::workloads {
+
+// Dense NxN double matrix multiply, C = A*B.
+const char *srcFpMatmul = R"(
+    .equ N, 40
+    .equ R, 1
+    .data
+A:
+    .space 12800
+B:
+    .space 12800
+C:
+    .space 12800
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =A               ; ---- init A and B ----
+    movz x2, #3200            ; 2*N*N elements
+    movz x3, #13579
+init:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #16777216.0
+    fdiv f0, f0, f1
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, init
+warmup_done:
+    movz x20, #R
+round:
+    movz x5, #0               ; i
+iloop:
+    movz x6, #0               ; j
+jloop:
+    fmovi f2, #0.0            ; acc
+    movz x7, #0               ; k
+kloop:
+    movz x8, =A               ; A[i][k]
+    muli x9, x5, #N
+    add x9, x9, x7
+    lsli x9, x9, #3
+    add x9, x8, x9
+    fldr f3, [x9]
+    movz x8, =B               ; B[k][j]
+    muli x10, x7, #N
+    add x10, x10, x6
+    lsli x10, x10, #3
+    add x10, x8, x10
+    fldr f4, [x10]
+    fmadd f2, f3, f4, f2
+    addi x7, x7, #1
+    movz x11, #N
+    blt x7, x11, kloop
+    movz x8, =C               ; C[i][j] = acc
+    muli x9, x5, #N
+    add x9, x9, x6
+    lsli x9, x9, #3
+    add x9, x8, x9
+    fstr f2, [x9]
+    addi x6, x6, #1
+    movz x11, #N
+    blt x6, x11, jloop
+    addi x5, x5, #1
+    movz x11, #N
+    blt x5, x11, iloop
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =C               ; checksum C[0][0]
+    fldr f0, [x1]
+    fcvti x2, f0
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+// T-tap FIR filter over S samples.
+const char *srcFpFir = R"(
+    .equ S, 6144
+    .equ T, 16
+    .equ R, 1
+    .data
+x:
+    .space 49280
+h:
+    .space 128
+y:
+    .space 49152
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =x               ; ---- init samples (S + T guard) ----
+    movz x2, #6160
+    movz x3, #24680
+initx:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #16777216.0
+    fdiv f0, f0, f1
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, initx
+    movz x1, =h               ; taps: decaying weights
+    movz x2, #T
+    fmovi f0, #0.5
+    fmovi f1, #0.93
+inith:
+    fstr f0, [x1]
+    fmul f0, f0, f1
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, inith
+warmup_done:
+    movz x20, #R
+round:
+    movz x5, #0               ; n
+nloop:
+    fmovi f2, #0.0
+    movz x6, #0               ; t
+tloop:
+    movz x7, =x               ; x[n+t]
+    add x8, x5, x6
+    lsli x8, x8, #3
+    add x8, x7, x8
+    fldr f3, [x8]
+    movz x7, =h               ; h[t]
+    lsli x9, x6, #3
+    add x9, x7, x9
+    fldr f4, [x9]
+    fmadd f2, f3, f4, f2
+    addi x6, x6, #1
+    movz x10, #T
+    blt x6, x10, tloop
+    movz x7, =y
+    lsli x8, x5, #3
+    add x8, x7, x8
+    fstr f2, [x8]
+    addi x5, x5, #1
+    movz x10, #S
+    blt x5, x10, nloop
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =y
+    fldr f0, [x1, #8]
+    fcvti x2, f0
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+// Jacobi 5-point stencil on a GxG grid, ping-pong buffers.
+const char *srcFpJacobi = R"(
+    .equ G, 80
+    .equ ITERS, 6
+    .data
+u0:
+    .space 51200
+u1:
+    .space 51200
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =u0              ; ---- init grid ----
+    movz x2, #6400            ; G*G
+    movz x3, #999
+init:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #16777216.0
+    fdiv f0, f0, f1
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, init
+warmup_done:
+    movz x20, #ITERS
+    movz x21, =u0             ; src
+    movz x22, =u1             ; dst
+round:
+    movz x5, #1               ; i in [1, G-2]
+iloop:
+    movz x6, #1               ; j
+jloop:
+    muli x7, x5, #G
+    add x7, x7, x6
+    lsli x7, x7, #3           ; centre offset
+    add x8, x21, x7
+    fldr f0, [x8, #-8]        ; left
+    fldr f1, [x8, #8]         ; right
+    movz x9, #640             ; G*8
+    sub x10, x8, x9
+    fldr f2, [x10]            ; up
+    add x11, x8, x9
+    fldr f3, [x11]            ; down
+    fadd f4, f0, f1
+    fadd f5, f2, f3
+    fadd f6, f4, f5
+    fmovi f7, #0.25
+    fmul f6, f6, f7
+    add x12, x22, x7
+    fstr f6, [x12]
+    addi x6, x6, #1
+    movz x13, #79             ; G-1
+    blt x6, x13, jloop
+    addi x5, x5, #1
+    blt x5, x13, iloop
+    mov x14, x21              ; swap buffers
+    mov x21, x22
+    mov x22, x14
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x15, #648            ; (G+1)*8: u[1][1]
+    add x1, x21, x15
+    fldr f0, [x1]
+    fcvti x2, f0
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+// One O(N^2) n-body force step (softened gravity) plus integration.
+const char *srcFpNbody = R"(
+    .equ NB, 56
+    .equ R, 2
+    .data
+px:
+    .space 448
+py:
+    .space 448
+vx:
+    .space 448
+vy:
+    .space 448
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =px              ; ---- init positions ----
+    movz x2, #112             ; px..vy region is 4*NB doubles? init px,py only (2*NB)
+    movz x3, #777
+init:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #8388608.0
+    fdiv f0, f0, f1
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, init
+warmup_done:
+    movz x20, #R
+round:
+    movz x5, #0               ; i
+iloop:
+    fmovi f10, #0.0           ; ax
+    fmovi f11, #0.0           ; ay
+    movz x7, =px
+    lsli x8, x5, #3
+    add x9, x7, x8
+    fldr f0, [x9]             ; px[i]
+    movz x7, =py
+    add x9, x7, x8
+    fldr f1, [x9]             ; py[i]
+    movz x6, #0               ; j
+jloop:
+    beq x6, x5, skip
+    movz x7, =px
+    lsli x10, x6, #3
+    add x11, x7, x10
+    fldr f2, [x11]            ; px[j]
+    movz x7, =py
+    add x11, x7, x10
+    fldr f3, [x11]            ; py[j]
+    fsub f4, f2, f0           ; dx
+    fsub f5, f3, f1           ; dy
+    fmul f6, f4, f4
+    fmadd f6, f5, f5, f6      ; d2 = dx*dx + dy*dy
+    fmovi f7, #0.01
+    fadd f6, f6, f7           ; softening
+    fsqrt f8, f6
+    fmul f8, f8, f6           ; d^3
+    fmovi f9, #1.0
+    fdiv f8, f9, f8           ; inv d^3
+    fmul f4, f4, f8
+    fmul f5, f5, f8
+    fadd f10, f10, f4
+    fadd f11, f11, f5
+skip:
+    addi x6, x6, #1
+    movz x12, #NB
+    blt x6, x12, jloop
+    movz x7, =vx              ; integrate velocities
+    add x9, x7, x8
+    fldr f12, [x9]
+    fmovi f13, #0.001
+    fmadd f12, f10, f13, f12
+    fstr f12, [x9]
+    movz x7, =vy
+    add x9, x7, x8
+    fldr f14, [x9]
+    fmadd f14, f11, f13, f14
+    fstr f14, [x9]
+    addi x5, x5, #1
+    movz x12, #NB
+    blt x5, x12, iloop
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =vx
+    fldr f0, [x1]
+    fmovi f1, #1000000.0
+    fmul f0, f0, f1
+    fcvti x2, f0
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+// Degree-D Horner polynomial evaluation at P points: a pure serial
+// fmadd chain that redefines its accumulator (the paper's favourite
+// single-use pattern).
+const char *srcFpHorner = R"(
+    .equ P, 8192
+    .equ DEG, 14
+    .data
+coef:
+    .space 128
+pts:
+    .space 65536
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =coef            ; ---- coefficients ----
+    movz x2, #15              ; DEG+1
+    fmovi f0, #0.8
+    fmovi f1, #-0.61
+initc:
+    fstr f0, [x1]
+    fmul f0, f0, f1
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, initc
+    movz x1, =pts             ; ---- points in [0,1) ----
+    movz x2, #P
+    movz x3, #31415
+initp:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #16777216.0
+    fdiv f0, f0, f1
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, initp
+warmup_done:
+    fmovi f20, #0.0           ; checksum
+    movz x5, #0               ; point index
+ploop:
+    movz x6, =pts
+    lsli x7, x5, #3
+    add x7, x6, x7
+    fldr f2, [x7]             ; x
+    movz x8, =coef
+    fldr f3, [x8]             ; acc = c[0]
+    movz x9, #1               ; k
+hloop:
+    lsli x10, x9, #3
+    add x10, x8, x10
+    fldr f4, [x10]            ; c[k]
+    fmadd f3, f3, f2, f4      ; acc = acc*x + c[k]
+    addi x9, x9, #1
+    movz x11, #15
+    blt x9, x11, hloop
+    fadd f20, f20, f3
+    addi x5, x5, #1
+    movz x12, #P
+    blt x5, x12, ploop
+    fmovi f1, #1024.0
+    fmul f20, f20, f1
+    fcvti x2, f20
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+// Chained elementwise vector pipeline: each element flows through a
+// chain of dependent multiply-adds with single-use intermediates.
+const char *srcFpChain = R"(
+    .equ N, 8192
+    .equ R, 3
+    .data
+v:
+    .space 65536
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =v
+    movz x2, #N
+    movz x3, #2718
+init:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #40
+    fcvt f0, x4
+    fmovi f1, #16777216.0
+    fdiv f0, f0, f1
+    fstr f0, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, init
+warmup_done:
+    movz x20, #R
+    fmovi f10, #1.0001
+    fmovi f11, #0.25
+    fmovi f12, #-0.125
+    fmovi f13, #0.0625
+round:
+    movz x5, #0
+eloop:
+    movz x6, =v
+    lsli x7, x5, #3
+    add x7, x6, x7
+    fldr f0, [x7]
+    fmadd f0, f0, f10, f11    ; chain of redefining fmadds
+    fmadd f0, f0, f10, f12
+    fmadd f0, f0, f10, f13
+    fmadd f0, f0, f10, f11
+    fmadd f0, f0, f10, f12
+    fmadd f0, f0, f10, f13
+    fmadd f0, f0, f10, f11
+    fmadd f0, f0, f10, f12
+    fstr f0, [x7]
+    addi x5, x5, #1
+    movz x8, #N
+    blt x5, x8, eloop
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =v
+    fldr f0, [x1]
+    fmovi f1, #65536.0
+    fmul f0, f0, f1
+    fcvti x2, f0
+    movz x1, =result
+    str x2, [x1]
+    halt
+)";
+
+} // namespace rrs::workloads

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * SPECint-style integer kernels: sorting, hashing, CRC, sieving,
+ * string matching and graph traversal.  Branchy, index-heavy code with
+ * the moderate single-use value fractions the paper reports for
+ * SPECint.
+ */
+
+#include "workloads.hh"
+
+namespace rrs::workloads {
+
+// Shellsort over N pseudo-random 64-bit integers, R rounds with fresh
+// data per round.
+const char *srcIntSort = R"(
+    .equ N, 1024
+    .equ R, 3
+    .data
+arr:
+    .space 8192
+result:
+    .space 8
+    .text
+_start:
+    movz x20, #R
+    movz x26, #0              ; checksum accumulator
+round:
+    movz x1, =arr             ; ---- init with LCG ----
+    movz x2, #N
+    muli x3, x20, #97
+    addi x3, x3, #12345
+init:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #33
+    str x4, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, init
+warmup_done:
+    movz x5, #N               ; ---- shellsort ----
+    lsri x5, x5, #1           ; gap = N/2
+gaploop:
+    beq x5, xzr, sorted
+    mov x6, x5                ; i = gap
+iloop:
+    movz x7, #N
+    bge x6, x7, gapnext
+    movz x1, =arr
+    lsli x8, x6, #3
+    add x8, x1, x8
+    ldr x9, [x8]              ; temp = a[i]
+    mov x10, x6               ; j = i
+jloop:
+    blt x10, x5, jdone        ; j < gap: stop
+    sub x11, x10, x5          ; j - gap
+    lsli x12, x11, #3
+    add x12, x1, x12
+    ldr x13, [x12]            ; a[j-gap]
+    bge x9, x13, jdone        ; a[j-gap] <= temp: stop
+    lsli x14, x10, #3
+    add x14, x1, x14
+    str x13, [x14]            ; a[j] = a[j-gap]
+    mov x10, x11
+    b jloop
+jdone:
+    lsli x14, x10, #3
+    add x14, x1, x14
+    str x9, [x14]             ; a[j] = temp
+    addi x6, x6, #1
+    b iloop
+gapnext:
+    lsri x5, x5, #1
+    b gaploop
+sorted:
+    movz x1, =arr             ; checksum first/last
+    ldr x2, [x1]
+    ldr x3, [x1, #8184]
+    add x26, x26, x2
+    add x26, x26, x3
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+// Open-addressing hash table: M slots, insert then probe K keys per
+// round (linear probing, key 0 means empty).
+const char *srcIntHash = R"(
+    .equ M, 8192
+    .equ K, 4096
+    .equ R, 4
+    .data
+table:
+    .space 65536
+result:
+    .space 8
+    .text
+_start:
+    movz x20, #R
+    movz x26, #0
+round:
+    movz x1, =table           ; ---- clear table ----
+    movz x2, #M
+clear:
+    str xzr, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, clear
+warmup_done:
+    movz x2, #K               ; ---- inserts ----
+    muli x3, x20, #31
+    addi x3, x3, #7
+insert:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #33
+    orri x4, x4, #1           ; never zero
+    movz x5, #8191
+    rem x6, x4, x5            ; slot index
+probe:
+    movz x7, =table
+    lsli x8, x6, #3
+    add x8, x7, x8
+    ldr x9, [x8]
+    beq x9, xzr, place        ; empty slot
+    beq x9, x4, placed        ; already present
+    addi x6, x6, #1
+    movz x7, #M
+    blt x6, x7, probe
+    movz x6, #0
+    b probe
+place:
+    str x4, [x8]
+placed:
+    subi x2, x2, #1
+    bne x2, xzr, insert
+    movz x2, #K               ; ---- lookups ----
+    muli x3, x20, #31
+    addi x3, x3, #7
+lookup:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #33
+    orri x4, x4, #1
+    movz x5, #8191
+    rem x6, x4, x5
+find:
+    movz x7, =table
+    lsli x8, x6, #3
+    add x8, x7, x8
+    ldr x9, [x8]
+    beq x9, xzr, miss
+    beq x9, x4, hit
+    addi x6, x6, #1
+    movz x7, #M
+    blt x6, x7, find
+    movz x6, #0
+    b find
+hit:
+    addi x26, x26, #1
+miss:
+    subi x2, x2, #1
+    bne x2, xzr, lookup
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+// Bitwise CRC32 over a byte buffer (polynomial 0xEDB88320).
+const char *srcIntCrc = R"(
+    .equ N, 32768
+    .equ R, 1
+    .data
+buf:
+    .space 32768
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =buf             ; ---- fill buffer once ----
+    movz x2, #N
+    movz x3, #987654321
+fill:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #56
+    strb x4, [x1]
+    addi x1, x1, #1
+    subi x2, x2, #1
+    bne x2, xzr, fill
+warmup_done:
+    movz x20, #R
+    movz x26, #0
+round:
+    movz x1, =buf
+    movz x2, #N
+    movz x5, #0xffffffff      ; crc
+byteloop:
+    ldrb x4, [x1]
+    eor x5, x5, x4
+    movz x6, #8               ; 8 bit steps
+bitloop:
+    andi x7, x5, #1
+    lsri x5, x5, #1
+    beq x7, xzr, nobit
+    movz x8, #0xEDB88320
+    eor x5, x5, x8
+nobit:
+    subi x6, x6, #1
+    bne x6, xzr, bitloop
+    addi x1, x1, #1
+    subi x2, x2, #1
+    bne x2, xzr, byteloop
+    add x26, x26, x5
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+// Sieve of Eratosthenes up to N (byte flags), counting primes.
+const char *srcIntSieve = R"(
+    .equ N, 32768
+    .equ R, 2
+    .data
+flags:
+    .space 32768
+result:
+    .space 8
+    .text
+_start:
+    movz x20, #R
+    movz x26, #0
+round:
+    movz x1, =flags           ; ---- clear flags ----
+    movz x2, #N
+clear:
+    strb xzr, [x1]
+    addi x1, x1, #1
+    subi x2, x2, #1
+    bne x2, xzr, clear
+warmup_done:
+    movz x3, #2               ; p = 2
+sieve:
+    mul x4, x3, x3            ; p*p
+    movz x5, #N
+    bge x4, x5, count         ; p*p >= N: done sieving
+    movz x6, =flags
+    add x7, x6, x3
+    ldrb x8, [x7]
+    bne x8, xzr, nextp        ; composite: skip
+    mov x9, x4                ; m = p*p
+mark:
+    add x10, x6, x9
+    movz x11, #1
+    strb x11, [x10]
+    add x9, x9, x3
+    blt x9, x5, mark
+nextp:
+    addi x3, x3, #1
+    b sieve
+count:
+    movz x1, =flags
+    movz x2, #2
+    movz x12, #0
+cloop:
+    add x4, x1, x2
+    ldrb x5, [x4]
+    bne x5, xzr, notprime
+    addi x12, x12, #1
+notprime:
+    addi x2, x2, #1
+    movz x6, #N
+    blt x2, x6, cloop
+    add x26, x26, x12
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+// Naive substring search: count occurrences of an 8-byte pattern in a
+// pseudo-random text (few-valued alphabet so partial matches happen).
+const char *srcIntMatch = R"(
+    .equ N, 32768
+    .equ PLEN, 6
+    .equ R, 1
+    .data
+text:
+    .space 32768
+pat:
+    .space 16
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =text            ; ---- fill text, alphabet {0..3} ----
+    movz x2, #N
+    movz x3, #55555
+fill:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #33
+    andi x4, x4, #3
+    strb x4, [x1]
+    addi x1, x1, #1
+    subi x2, x2, #1
+    bne x2, xzr, fill
+    movz x1, =pat             ; pattern = 0,1,0,1,2,3
+    strb xzr, [x1]
+    movz x2, #1
+    strb x2, [x1, #1]
+    strb xzr, [x1, #2]
+    strb x2, [x1, #3]
+    movz x2, #2
+    strb x2, [x1, #4]
+    movz x2, #3
+    strb x2, [x1, #5]
+warmup_done:
+    movz x20, #R
+    movz x26, #0
+round:
+    movz x5, #0               ; i
+    movz x6, #N
+    subi x6, x6, #PLEN        ; last start
+outer:
+    movz x7, #0               ; j
+    movz x8, =text
+    add x8, x8, x5
+    movz x9, =pat
+inner:
+    add x10, x8, x7
+    ldrb x11, [x10]
+    add x12, x9, x7
+    ldrb x13, [x12]
+    bne x11, x13, mismatch
+    addi x7, x7, #1
+    movz x14, #PLEN
+    blt x7, x14, inner
+    addi x26, x26, #1         ; full match
+mismatch:
+    addi x5, x5, #1
+    bge x6, x5, outer
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+// Breadth-first search over a synthetic graph: V nodes, fixed degree D
+// adjacency generated by an LCG; repeated from rotating start nodes.
+const char *srcIntGraph = R"(
+    .equ V, 1024
+    .equ D, 4
+    .equ R, 8
+    .data
+adj:
+    .space 32768
+visited:
+    .space 1024
+queue:
+    .space 8192
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =adj             ; ---- build adjacency (V*D words) ----
+    movz x2, #0               ; edge index
+    movz x3, #424242
+    movz x4, #V
+    muli x5, x4, #D           ; total edges
+build:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x6, x3, #33
+    movz x7, #V
+    rem x8, x6, x7            ; target node
+    lsli x9, x2, #3
+    add x9, x1, x9
+    str x8, [x9]
+    addi x2, x2, #1
+    blt x2, x5, build
+warmup_done:
+    movz x20, #R
+    movz x26, #0
+round:
+    movz x1, =visited         ; ---- clear visited ----
+    movz x2, #V
+clear:
+    strb xzr, [x1]
+    addi x1, x1, #1
+    subi x2, x2, #1
+    bne x2, xzr, clear
+    movz x10, =queue
+    movz x11, #0              ; head
+    movz x12, #0              ; tail
+    movz x13, #V
+    rem x14, x20, x13         ; start node = R mod V
+    lsli x15, x12, #3
+    add x15, x10, x15
+    str x14, [x15]            ; push start
+    addi x12, x12, #1
+    movz x1, =visited
+    add x2, x1, x14
+    movz x3, #1
+    strb x3, [x2]
+bfs:
+    bge x11, x12, done        ; queue empty
+    lsli x15, x11, #3
+    add x15, x10, x15
+    ldr x14, [x15]            ; pop node
+    addi x11, x11, #1
+    addi x26, x26, #1         ; visit count
+    movz x4, #0               ; neighbour index
+neigh:
+    movz x5, =adj
+    muli x6, x14, #D
+    add x6, x6, x4
+    lsli x6, x6, #3
+    add x6, x5, x6
+    ldr x7, [x6]              ; neighbour node
+    movz x1, =visited
+    add x2, x1, x7
+    ldrb x3, [x2]
+    bne x3, xzr, skip
+    movz x3, #1
+    strb x3, [x2]
+    lsli x15, x12, #3
+    add x15, x10, x15
+    str x7, [x15]             ; push
+    addi x12, x12, #1
+skip:
+    addi x4, x4, #1
+    movz x5, #D
+    blt x4, x5, neigh
+    b bfs
+done:
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+} // namespace rrs::workloads

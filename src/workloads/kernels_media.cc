@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Mediabench-style kernels: an ADPCM-flavoured waveform encoder, an
+ * 8x8 separable integer DCT, and Sobel edge detection — fixed-point
+ * signal-processing loops with table lookups, clamps and data-dependent
+ * branches.
+ */
+
+#include "workloads.hh"
+
+namespace rrs::workloads {
+
+// ADPCM-style encoder: predict, quantise delta with an adaptive step,
+// update predictor, clamp.  Step adaptation is multiplicative (3/2 up,
+// 3/4 down) instead of the canonical 89-entry table; the instruction
+// mix (loads, shifts, compare-branch chains) matches the original.
+const char *srcMediaAdpcm = R"(
+    .equ N, 16384
+    .equ R, 2
+    .data
+pcm:
+    .space 131072
+out:
+    .space 16384
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =pcm             ; ---- synth waveform ----
+    movz x2, #N
+    movz x3, #11111
+    movz x9, #0               ; triangle accumulator
+    movz x10, #64             ; slope
+fill:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #58          ; small noise
+    add x9, x9, x10
+    movz x5, #16000
+    blt x9, x5, noflip
+    movz x6, #0
+    sub x10, x6, x10          ; invert slope
+noflip:
+    add x7, x9, x4
+    str x7, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, fill
+warmup_done:
+    movz x20, #R
+    movz x26, #0
+round:
+    movz x1, =pcm
+    movz x2, =out
+    movz x3, #N
+    movz x5, #0               ; predictor
+    movz x6, #16              ; step
+sample:
+    ldr x7, [x1]              ; sample
+    sub x8, x7, x5            ; delta
+    movz x9, #0               ; code
+    bge x8, xzr, positive
+    movz x9, #8               ; sign bit
+    sub x8, xzr, x8           ; |delta|
+positive:
+    div x10, x8, x6           ; magnitude = delta/step
+    movz x11, #7
+    blt x10, x11, small
+    mov x10, x11              ; clamp to 7
+small:
+    orr x9, x9, x10           ; code = sign | mag
+    strb x9, [x2]
+    mul x12, x10, x6          ; reconstructed delta
+    andi x13, x9, #8
+    beq x13, xzr, addup
+    sub x5, x5, x12
+    b adapt
+addup:
+    add x5, x5, x12
+adapt:
+    movz x14, #4
+    bge x10, x14, stepup      ; large codes: step *= 3/2
+    muli x6, x6, #3
+    lsri x6, x6, #2           ; step *= 3/4
+    b stepclamp
+stepup:
+    muli x6, x6, #3
+    lsri x6, x6, #1
+stepclamp:
+    movz x15, #16
+    bge x6, x15, stepmax
+    mov x6, x15
+stepmax:
+    movz x15, #8192
+    blt x6, x15, stepok
+    mov x6, x15
+stepok:
+    add x26, x26, x9
+    addi x1, x1, #8
+    addi x2, x2, #1
+    subi x3, x3, #1
+    bne x3, xzr, sample
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+// Separable 8x8 integer DCT over B blocks: rows then columns, using a
+// Q12 fixed-point cosine table built at startup from a polynomial
+// cosine approximation.
+const char *srcMediaDct = R"(
+    .equ B, 64
+    .data
+costab:
+    .space 512
+blocks:
+    .space 32768
+tmp:
+    .space 512
+result:
+    .space 8
+    .text
+_start:
+    ; ---- build Q12 cosine table: costab[u][k] ~ cos((2k+1)u*pi/16) ----
+    ; theta = (2k+1)*u*201/1024  (201/1024 ~ pi/16 in Q10-ish)
+    movz x5, #0               ; u
+tabu:
+    movz x6, #0               ; k
+tabk:
+    lsli x7, x6, #1
+    addi x7, x7, #1           ; 2k+1
+    mul x7, x7, x5
+    muli x7, x7, #201         ; theta in Q10 (approx radians<<10)
+    ; reduce theta into [0, 2pi<<10) ~ 6434
+    movz x8, #6434
+    rem x7, x7, x8
+    ; cos via quadratic approximation per quadrant:
+    ; fold into [0, pi<<10) with sign
+    movz x9, #3217            ; pi<<10
+    movz x10, #1              ; sign
+    blt x7, x9, fold1
+    sub x7, x7, x9
+    movz x11, #0
+    sub x10, x11, x10         ; sign = -1
+fold1:
+    ; cos(t) ~ 4096 - t^2*4096/(pi/2<<10)^2 scaled: use (1608)^2
+    movz x12, #1608           ; pi/2<<10
+    blt x7, x12, cosq
+    ; second quarter: cos(t) = -cos(pi - t)
+    sub x7, x9, x7
+    movz x11, #0
+    sub x10, x11, x10
+cosq:
+    mul x13, x7, x7           ; t^2
+    movz x14, #631            ; (1608^2/4096)
+    div x13, x13, x14         ; t^2 scaled to Q12
+    movz x15, #4096
+    sub x13, x15, x13         ; cos in Q12
+    mul x13, x13, x10         ; apply sign
+    ; store costab[u*8+k]
+    movz x16, =costab
+    muli x17, x5, #8
+    add x17, x17, x6
+    lsli x17, x17, #3
+    add x17, x16, x17
+    str x13, [x17]
+    addi x6, x6, #1
+    movz x18, #8
+    blt x6, x18, tabk
+    addi x5, x5, #1
+    blt x5, x18, tabu
+    ; ---- init blocks ----
+    movz x1, =blocks
+    movz x2, #4096            ; B*64
+    movz x3, #333
+initb:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #56
+    str x4, [x1]
+    addi x1, x1, #8
+    subi x2, x2, #1
+    bne x2, xzr, initb
+warmup_done:
+    ; ---- DCT per block ----
+    movz x19, #0              ; block index
+    movz x26, #0
+blockloop:
+    movz x21, =blocks
+    muli x22, x19, #512
+    add x21, x21, x22         ; block base
+    ; rows: tmp[u][k... tmp[r][u] = sum_k blk[r][k]*costab[u][k]
+    movz x5, #0               ; r
+rowr:
+    movz x6, #0               ; u
+rowu:
+    movz x7, #0               ; k
+    movz x8, #0               ; acc
+rowk:
+    muli x9, x5, #8
+    add x9, x9, x7
+    lsli x9, x9, #3
+    add x9, x21, x9
+    ldr x10, [x9]             ; blk[r][k]
+    movz x11, =costab
+    muli x12, x6, #8
+    add x12, x12, x7
+    lsli x12, x12, #3
+    add x12, x11, x12
+    ldr x13, [x12]
+    mul x14, x10, x13
+    add x8, x8, x14
+    addi x7, x7, #1
+    movz x15, #8
+    blt x7, x15, rowk
+    asri x8, x8, #12          ; back to integer range
+    movz x16, =tmp
+    muli x17, x5, #8
+    add x17, x17, x6
+    lsli x17, x17, #3
+    add x17, x16, x17
+    str x8, [x17]
+    addi x6, x6, #1
+    movz x15, #8
+    blt x6, x15, rowu
+    addi x5, x5, #1
+    blt x5, x15, rowr
+    ; columns: blk[v][c] = sum_r tmp[r][c]*costab[v][r]
+    movz x5, #0               ; c
+colc:
+    movz x6, #0               ; v
+colv:
+    movz x7, #0               ; r
+    movz x8, #0
+colr:
+    movz x16, =tmp
+    muli x9, x7, #8
+    add x9, x9, x5
+    lsli x9, x9, #3
+    add x9, x16, x9
+    ldr x10, [x9]
+    movz x11, =costab
+    muli x12, x6, #8
+    add x12, x12, x7
+    lsli x12, x12, #3
+    add x12, x11, x12
+    ldr x13, [x12]
+    mul x14, x10, x13
+    add x8, x8, x14
+    addi x7, x7, #1
+    movz x15, #8
+    blt x7, x15, colr
+    asri x8, x8, #12
+    muli x9, x6, #8
+    add x9, x9, x5
+    lsli x9, x9, #3
+    add x9, x21, x9
+    str x8, [x9]
+    add x26, x26, x8
+    addi x6, x6, #1
+    movz x15, #8
+    blt x6, x15, colv
+    addi x5, x5, #1
+    blt x5, x15, colc
+    addi x19, x19, #1
+    movz x18, #B
+    blt x19, x18, blockloop
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+// Sobel edge detection over a WxH image with magnitude thresholding.
+const char *srcMediaSobel = R"(
+    .equ W, 128
+    .equ H, 128
+    .equ R, 1
+    .data
+img:
+    .space 16384
+result:
+    .space 8
+    .text
+_start:
+    movz x1, =img             ; ---- synth image ----
+    movz x2, #16384           ; W*H bytes
+    movz x3, #171717
+fill:
+    muli x3, x3, #6364136223846793005
+    addi x3, x3, #1442695040888963407
+    lsri x4, x3, #57
+    strb x4, [x1]
+    addi x1, x1, #1
+    subi x2, x2, #1
+    bne x2, xzr, fill
+warmup_done:
+    movz x20, #R
+    movz x26, #0
+round:
+    movz x5, #1               ; y in [1, H-2]
+yloop:
+    movz x6, #1               ; x in [1, W-2]
+xloop:
+    movz x7, =img
+    muli x8, x5, #W
+    add x8, x8, x6
+    add x8, x7, x8            ; &img[y][x]
+    ; neighbours (p = img[y+dy][x+dx])
+    ldrb x9,  [x8, #-129]     ; (-1,-1)
+    ldrb x10, [x8, #-128]     ; (-1, 0)
+    ldrb x11, [x8, #-127]     ; (-1,+1)
+    ldrb x12, [x8, #-1]       ; ( 0,-1)
+    ldrb x13, [x8, #1]        ; ( 0,+1)
+    ldrb x14, [x8, #127]      ; (+1,-1)
+    ldrb x15, [x8, #128]      ; (+1, 0)
+    ldrb x16, [x8, #129]      ; (+1,+1)
+    ; gx = (p11 + 2*p21 + p31) - (p13 + 2*p23 + p33)
+    lsli x17, x13, #1
+    add x18, x11, x17
+    add x18, x18, x16
+    lsli x17, x12, #1
+    add x19, x9, x17
+    add x19, x19, x14
+    sub x18, x18, x19         ; gx
+    ; gy = bottom - top
+    lsli x17, x15, #1
+    add x21, x14, x17
+    add x21, x21, x16
+    lsli x17, x10, #1
+    add x22, x9, x17
+    add x22, x22, x11
+    sub x21, x21, x22         ; gy
+    ; |gx| + |gy|
+    bge x18, xzr, gxpos
+    sub x18, xzr, x18
+gxpos:
+    bge x21, xzr, gypos
+    sub x21, xzr, x21
+gypos:
+    add x23, x18, x21
+    movz x24, #128
+    blt x23, x24, noedge
+    addi x26, x26, #1
+noedge:
+    addi x6, x6, #1
+    movz x25, #127            ; W-1
+    blt x6, x25, xloop
+    addi x5, x5, #1
+    blt x5, x25, yloop
+    subi x20, x20, #1
+    bne x20, xzr, round
+    movz x1, =result
+    str x26, [x1]
+    halt
+)";
+
+} // namespace rrs::workloads

@@ -1,0 +1,96 @@
+// Tests for the CACTI-lite area model: calibration against the paper's
+// Table II, port/shadow scaling properties, and equal-area solving.
+
+#include <gtest/gtest.h>
+
+#include "area/area.hh"
+
+namespace {
+
+using namespace rrs::area;
+
+TEST(AreaModel, ReproducesTableIIRegisterFiles)
+{
+    AreaModel m;
+    // Paper Table II: 128 x 64-bit int RF = 0.2834 mm2,
+    //                 128 x 128-bit fp RF = 0.4988 mm2.
+    EXPECT_NEAR(m.regFileArea(128, 64), 0.2834, 0.03);
+    EXPECT_NEAR(m.regFileArea(128, 128), 0.4988, 0.05);
+}
+
+TEST(AreaModel, ReproducesTableIIOverheads)
+{
+    AreaModel m;
+    // PRT ~5.08e-4, IQ overhead ~1.48e-3, predictor ~3.1e-3 (mm2).
+    EXPECT_NEAR(m.prtArea(128, 2), 5.08e-4, 3e-4);
+    EXPECT_NEAR(m.iqOverheadArea(40, 4), 1.48e-3, 8e-4);
+    EXPECT_NEAR(m.predictorArea(512, 2), 3.1e-3, 1e-3);
+    // Total overhead stays small vs the register files (paper: ~5e-3).
+    double total = m.prtArea(128, 2) + m.iqOverheadArea(40, 4) +
+                   m.predictorArea(512, 2);
+    EXPECT_LT(total, 0.02 * (0.2834 + 0.4988));
+}
+
+TEST(AreaModel, ShadowCellsArePortIndependent)
+{
+    AreaConstants c;
+    AreaModel few(c, PortConfig{2, 1});
+    AreaModel many(c, PortConfig{12, 6});
+    EXPECT_DOUBLE_EQ(few.shadowCellArea(), many.shadowCellArea());
+    EXPECT_LT(few.bitCellArea(), many.bitCellArea());
+    // The paper's argument: relative shadow overhead shrinks as ports
+    // grow.
+    EXPECT_LT(many.shadowCellArea() / many.bitCellArea(),
+              few.shadowCellArea() / few.bitCellArea());
+}
+
+TEST(AreaModel, BankedFileAccountsShadow)
+{
+    AreaModel m;
+    double plain = m.regFileArea(40, 64, 0);
+    double banked = m.bankedRegFileArea({28, 4, 4, 4}, 64);
+    // Same register count; banked adds 4*1+4*2+4*3 = 24 shadow cells.
+    EXPECT_GT(banked, plain);
+    EXPECT_NEAR(banked - plain, 24 * 64 * m.shadowCellArea(), 1e-9);
+}
+
+TEST(AreaModel, ShadowCheaperThanRegularCell)
+{
+    AreaModel m;
+    EXPECT_LT(m.shadowCellArea(), 0.5 * m.bitCellArea());
+}
+
+TEST(AreaModel, EqualAreaSolverFitsBudget)
+{
+    AreaModel m;
+    std::array<std::uint32_t, 4> shadow = {0, 8, 3, 3};
+    std::uint32_t n0 = m.equalAreaBank0(64, 64, shadow, 0.0);
+    ASSERT_GT(n0, 0u);
+    std::array<std::uint32_t, 4> banks = {n0, 8, 3, 3};
+    // The solved configuration fits, and one more register would not.
+    EXPECT_LE(m.bankedRegFileArea(banks, 64), m.regFileArea(64, 64));
+    banks[0] = n0 + 1;
+    EXPECT_GT(m.bankedRegFileArea(banks, 64), m.regFileArea(64, 64));
+}
+
+TEST(AreaModel, EqualAreaSolverRespectsOverheadAndMin)
+{
+    AreaModel m;
+    std::array<std::uint32_t, 4> shadow = {0, 8, 3, 3};
+    std::uint32_t with_overhead =
+        m.equalAreaBank0(64, 64, shadow, 0.01);
+    std::uint32_t without = m.equalAreaBank0(64, 64, shadow, 0.0);
+    EXPECT_LT(with_overhead, without);
+    // Impossible budgets return zero.
+    EXPECT_EQ(m.equalAreaBank0(4, 64, {0, 64, 64, 64}, 0.0), 0u);
+}
+
+TEST(AreaModel, MonotoneInRegsBitsPorts)
+{
+    AreaModel m;
+    EXPECT_LT(m.regFileArea(48, 64), m.regFileArea(64, 64));
+    EXPECT_LT(m.regFileArea(64, 64), m.regFileArea(64, 128));
+    EXPECT_LT(m.sramArea(128, 2, 1), m.sramArea(128, 2, 4));
+}
+
+} // namespace

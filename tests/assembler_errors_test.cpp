@@ -1,0 +1,94 @@
+// Death tests for the assembler's error handling: malformed input is
+// repository-controlled, so errors terminate via fatal() with the
+// offending line number.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+namespace {
+
+using rrs::isa::assemble;
+
+using AssemblerDeath = ::testing::Test;
+
+TEST(AssemblerDeath, UnknownMnemonic)
+{
+    EXPECT_EXIT(assemble("frobnicate x1, x2\n"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(AssemblerDeath, UndefinedLabel)
+{
+    EXPECT_EXIT(assemble("b nowhere\n"),
+                ::testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(AssemblerDeath, UndefinedSymbolInImmediate)
+{
+    EXPECT_EXIT(assemble("movz x1, =missing\n"),
+                ::testing::ExitedWithCode(1), "undefined symbol");
+}
+
+TEST(AssemblerDeath, DuplicateLabel)
+{
+    EXPECT_EXIT(assemble("a:\nnop\na:\nnop\n"),
+                ::testing::ExitedWithCode(1), "duplicate label");
+}
+
+TEST(AssemblerDeath, WrongRegisterClass)
+{
+    EXPECT_EXIT(assemble("add x1, f2, x3\n"),
+                ::testing::ExitedWithCode(1), "wrong register class");
+}
+
+TEST(AssemblerDeath, MissingOperand)
+{
+    EXPECT_EXIT(assemble("add x1, x2\n"),
+                ::testing::ExitedWithCode(1), "missing operand");
+}
+
+TEST(AssemblerDeath, TooManyOperands)
+{
+    EXPECT_EXIT(assemble("nop x1\n"),
+                ::testing::ExitedWithCode(1), "too many operands");
+}
+
+TEST(AssemblerDeath, BadMemoryOperand)
+{
+    EXPECT_EXIT(assemble("ldr x1, x2\n"),
+                ::testing::ExitedWithCode(1), "expected .base");
+}
+
+TEST(AssemblerDeath, BadImmediate)
+{
+    EXPECT_EXIT(assemble("addi x1, x2, #banana\n"),
+                ::testing::ExitedWithCode(1), "bad immediate");
+}
+
+TEST(AssemblerDeath, InstructionInDataSegment)
+{
+    EXPECT_EXIT(assemble(".data\nadd x1, x2, x3\n"),
+                ::testing::ExitedWithCode(1), "instruction in .data");
+}
+
+TEST(AssemblerDeath, DataDirectiveInText)
+{
+    EXPECT_EXIT(assemble(".text\n.word 5\n"),
+                ::testing::ExitedWithCode(1), "data directive in .text");
+}
+
+TEST(AssemblerDeath, UnknownDirective)
+{
+    EXPECT_EXIT(assemble(".bogus 1\n"),
+                ::testing::ExitedWithCode(1), "unknown directive");
+}
+
+TEST(AssemblerDeath, ProgramSymbolLookupFatal)
+{
+    rrs::isa::Program p = assemble("nop\n");
+    EXPECT_EXIT(p.symbol("missing"), ::testing::ExitedWithCode(1),
+                "undefined symbol");
+}
+
+} // namespace

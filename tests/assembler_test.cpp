@@ -1,0 +1,175 @@
+// Unit tests for the two-pass assembler: labels, directives, operand
+// forms, and symbol resolution.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+namespace {
+
+using namespace rrs;
+using namespace rrs::isa;
+
+TEST(Assembler, BasicAlu)
+{
+    Program p = assemble(R"(
+        add x1, x2, x3
+        addi x4, x1, #8
+        movz x5, #0x10
+        halt
+    )");
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.text[0].op, Opcode::Add);
+    EXPECT_EQ(p.text[0].dest, intReg(1));
+    EXPECT_EQ(p.text[1].imm, 8);
+    EXPECT_EQ(p.text[2].imm, 16);
+    EXPECT_EQ(p.text[3].op, Opcode::Halt);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+        ; full-line comment
+        add x1, x2, x3   // trailing comment
+
+        nop ; another
+    )");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+    loop:
+        subi x1, x1, #1
+        bne x1, xzr, loop
+        halt
+    )");
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.symbols.at("loop"), textBase);
+    EXPECT_EQ(p.text[1].target, textBase);
+    EXPECT_EQ(p.text[1].srcs[1], intReg(zeroReg));
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction)
+{
+    Program p = assemble("start: nop\n b start\n");
+    EXPECT_EQ(p.symbols.at("start"), textBase);
+    EXPECT_EQ(p.text[1].target, textBase);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Program p = assemble(R"(
+        ldr x1, [x2, #16]
+        ldr x3, [x4]
+        str x1, [x2, #-8]
+        fldr f0, [x5, #0]
+        fstr f0, [x5, #8]
+    )");
+    EXPECT_EQ(p.text[0].imm, 16);
+    EXPECT_EQ(p.text[1].imm, 0);
+    EXPECT_EQ(p.text[2].imm, -8);
+    EXPECT_EQ(p.text[3].dest, fpReg(0));
+    EXPECT_EQ(p.text[4].srcs[0], fpReg(0));
+    EXPECT_EQ(p.text[4].srcs[1], intReg(5));
+}
+
+TEST(Assembler, CallAndReturnImplicitLinkReg)
+{
+    Program p = assemble(R"(
+        bl func
+        halt
+    func:
+        ret
+    )");
+    EXPECT_EQ(p.text[0].dest, intReg(linkReg));
+    EXPECT_EQ(p.text[0].target, textBase + 2 * instBytes);
+    EXPECT_EQ(p.text[2].srcs[0], intReg(linkReg));
+}
+
+TEST(Assembler, DataDirectivesAndSymbols)
+{
+    Program p = assemble(R"(
+        .data
+    arr:
+        .word 1, 2, 3
+    vals:
+        .double 1.5, -2.5
+    buf:
+        .space 64
+    after:
+        .word 9
+        .text
+        movz x1, =arr
+        movz x2, =after
+        halt
+    )");
+    EXPECT_EQ(p.symbols.at("arr"), dataBase);
+    EXPECT_EQ(p.symbols.at("vals"), dataBase + 24);
+    EXPECT_EQ(p.symbols.at("buf"), dataBase + 40);
+    EXPECT_EQ(p.symbols.at("after"), dataBase + 104);
+    EXPECT_EQ(p.text[0].imm, static_cast<std::int64_t>(dataBase));
+    EXPECT_EQ(p.text[1].imm, static_cast<std::int64_t>(dataBase + 104));
+    // Data bytes: first chunk is 1,2,3 little endian.
+    ASSERT_GE(p.data.size(), 2u);
+    EXPECT_EQ(p.data[0].bytes.size(), 24u);
+    EXPECT_EQ(p.data[0].bytes[0], 1);
+    EXPECT_EQ(p.data[0].bytes[8], 2);
+}
+
+TEST(Assembler, EquConstants)
+{
+    Program p = assemble(R"(
+        .equ N, 100
+        movz x1, N
+        addi x2, x1, N
+        halt
+    )");
+    EXPECT_EQ(p.text[0].imm, 100);
+    EXPECT_EQ(p.text[1].imm, 100);
+}
+
+TEST(Assembler, FpImmediateAndRegisters)
+{
+    Program p = assemble(R"(
+        fmovi f1, #2.5
+        fmadd f0, f1, f2, f3
+        halt
+    )");
+    EXPECT_DOUBLE_EQ(p.text[0].fimm, 2.5);
+    EXPECT_EQ(p.text[1].srcs[2], fpReg(3));
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    Program p = assemble(R"(
+        addi sp, sp, #-16
+        mov x1, lr
+        halt
+    )");
+    EXPECT_EQ(p.text[0].dest, intReg(28));
+    EXPECT_EQ(p.text[1].srcs[0], intReg(linkReg));
+}
+
+TEST(Assembler, StartSymbolSetsEntry)
+{
+    Program p = assemble(R"(
+        nop
+    _start:
+        halt
+    )");
+    EXPECT_EQ(p.entry, textBase + instBytes);
+}
+
+TEST(Assembler, ProgramPcHelpers)
+{
+    Program p = assemble("nop\nnop\nhalt\n");
+    EXPECT_TRUE(p.validPc(textBase));
+    EXPECT_TRUE(p.validPc(textBase + 2 * instBytes));
+    EXPECT_FALSE(p.validPc(textBase + 3 * instBytes));
+    EXPECT_FALSE(p.validPc(textBase + 2));
+    EXPECT_EQ(Program::indexOf(Program::pcOf(7)), 7u);
+}
+
+} // namespace

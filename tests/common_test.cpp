@@ -1,0 +1,191 @@
+// Unit tests for the common utilities: bit manipulation, the circular
+// queue, deterministic RNG and string helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutils.hh"
+#include "common/circular_queue.hh"
+#include "common/random.hh"
+#include "common/strutils.hh"
+
+namespace {
+
+using namespace rrs;
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(BitUtils, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(BitUtils, Align)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x100), 0x1200u);
+    EXPECT_EQ(alignUp(0x1234, 0x100), 0x1300u);
+    EXPECT_EQ(alignUp(0x1200, 0x100), 0x1200u);
+}
+
+TEST(BitUtils, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+}
+
+TEST(CircularQueue, PushPopOrder)
+{
+    CircularQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    q.pushBack(1);
+    q.pushBack(2);
+    q.pushBack(3);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.back(), 3);
+    q.popFront();
+    EXPECT_EQ(q.front(), 2);
+    q.pushBack(4);
+    q.pushBack(5);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.at(0), 2);
+    EXPECT_EQ(q.at(3), 5);
+}
+
+TEST(CircularQueue, PopBackSquashesYoungest)
+{
+    CircularQueue<int> q(4);
+    q.pushBack(10);
+    q.pushBack(20);
+    q.pushBack(30);
+    q.popBack();
+    EXPECT_EQ(q.back(), 20);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(CircularQueue, WrapAroundStress)
+{
+    CircularQueue<int> q(3);
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 100; ++round) {
+        while (!q.full())
+            q.pushBack(next_in++);
+        while (!q.empty()) {
+            EXPECT_EQ(q.front(), next_out++);
+            q.popFront();
+        }
+    }
+    EXPECT_EQ(next_in, next_out);
+}
+
+TEST(Random, Deterministic)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Random, ReseedRestoresSequence)
+{
+    Random a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next64());
+    a.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next64(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Random, BelowInRange)
+{
+    Random r(3);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Random, BetweenInclusive)
+{
+    Random r(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(StrUtils, Trim)
+{
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(StrUtils, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrUtils, SplitWhitespace)
+{
+    auto parts = splitWhitespace("  add   x1,  x2 ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "add");
+    EXPECT_EQ(parts[1], "x1,");
+}
+
+TEST(StrUtils, ParseInt)
+{
+    EXPECT_EQ(parseInt("42").value(), 42);
+    EXPECT_EQ(parseInt("-7").value(), -7);
+    EXPECT_EQ(parseInt("0x10").value(), 16);
+    EXPECT_EQ(parseInt("#12").value(), 12);
+    EXPECT_FALSE(parseInt("12abc").has_value());
+    EXPECT_FALSE(parseInt("").has_value());
+}
+
+TEST(StrUtils, ParseDouble)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("1.5").value(), 1.5);
+    EXPECT_DOUBLE_EQ(parseDouble("-2e3").value(), -2000.0);
+    EXPECT_FALSE(parseDouble("nanx").has_value());
+}
+
+} // namespace

@@ -1,0 +1,402 @@
+// Unit tests for the proposed renamer: physical register sharing,
+// versioned tags, the PRT read bit / counter, the register type
+// predictor interplay, single-use misprediction repair, reference-
+// counted release, and squash recovery.
+
+#include <gtest/gtest.h>
+
+#include "rename/reuse.hh"
+
+namespace {
+
+using namespace rrs;
+using namespace rrs::rename;
+
+trace::DynInst
+makeInst(isa::Opcode op, isa::RegId dest, isa::RegId s0 = {},
+         isa::RegId s1 = {}, Addr pc = 0x1000)
+{
+    trace::DynInst di;
+    di.si.op = op;
+    di.si.dest = dest;
+    di.si.srcs[0] = s0;
+    di.si.srcs[1] = s1;
+    di.pc = pc;
+    return di;
+}
+
+trace::DynInst
+addInst(int d, int a, int b, Addr pc = 0x1000)
+{
+    return makeInst(isa::Opcode::Add,
+                    isa::intReg(static_cast<LogRegIndex>(d)),
+                    isa::intReg(static_cast<LogRegIndex>(a)),
+                    isa::intReg(static_cast<LogRegIndex>(b)), pc);
+}
+
+trace::DynInst
+movzInst(int d, Addr pc = 0x2000)
+{
+    return makeInst(isa::Opcode::Movz,
+                    isa::intReg(static_cast<LogRegIndex>(d)), {}, {}, pc);
+}
+
+/** Params whose free registers all live in the 3-shadow-cell bank, so
+ *  reuse mechanics can be tested without predictor warmup. */
+ReuseRenamerParams
+bigShadowParams()
+{
+    ReuseRenamerParams p;
+    p.intBanks = {32, 0, 0, 16};
+    p.fpBanks = {32, 0, 0, 16};
+    return p;
+}
+
+TEST(ReuseRenamer, RedefiningChainSharesOneRegister)
+{
+    ReuseRenamer rn(bigShadowParams());
+    auto free0 = rn.freeRegs(RegClass::Int);
+
+    // I1: add r1 <- r2, r3   (fresh register P)
+    auto r1 = rn.rename(addInst(1, 2, 3));
+    ASSERT_TRUE(r1.success);
+    EXPECT_FALSE(r1.reused);
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), free0 - 1);
+
+    // I4: add r1 <- r1, r4   (sole + redefining consumer: reuse, v1)
+    auto r4 = rn.rename(addInst(1, 1, 4));
+    ASSERT_TRUE(r4.success);
+    EXPECT_TRUE(r4.reused);
+    EXPECT_EQ(r4.destTag.reg, r1.destTag.reg);
+    EXPECT_EQ(r4.destTag.version, 1);
+    EXPECT_EQ(r4.srcTags[0], r1.destTag);
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), free0 - 1);  // no allocation
+
+    // I5: mul r1 <- r1, r1   (reads the same reg twice, still one
+    // consumer: reuse, v2)
+    auto r5 = rn.rename(makeInst(isa::Opcode::Mul, isa::intReg(1),
+                                 isa::intReg(1), isa::intReg(1)));
+    ASSERT_TRUE(r5.success);
+    EXPECT_TRUE(r5.reused);
+    EXPECT_EQ(r5.destTag.version, 2);
+    EXPECT_EQ(r5.srcTags[0], r4.destTag);
+    EXPECT_EQ(r5.srcTags[1], r4.destTag);
+
+    // I6: mul r1 <- r1, r3   (reuse, v3 — counter saturates after)
+    auto r6 = rn.rename(addInst(1, 1, 3));
+    ASSERT_TRUE(r6.success);
+    EXPECT_TRUE(r6.reused);
+    EXPECT_EQ(r6.destTag.version, 3);
+
+    // I7: add r1 <- r1, r4   (counter saturated: fresh register)
+    auto r7 = rn.rename(addInst(1, 1, 4));
+    ASSERT_TRUE(r7.success);
+    EXPECT_FALSE(r7.reused);
+    EXPECT_NE(r7.destTag.reg, r6.destTag.reg);
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), free0 - 2);
+}
+
+TEST(ReuseRenamer, ReadBitBlocksSecondConsumer)
+{
+    ReuseRenamer rn(bigShadowParams());
+    auto r1 = rn.rename(addInst(1, 2, 3));
+    // First consumer, not redefining and predictor cold: no reuse, but
+    // it sets the read bit.
+    auto r2 = rn.rename(addInst(5, 1, 4));
+    ASSERT_TRUE(r2.success);
+    EXPECT_FALSE(r2.reused);
+    // Second consumer that *does* redefine: read bit already set, so
+    // the guaranteed-reuse rule cannot fire.
+    auto r3 = rn.rename(addInst(1, 1, 4));
+    ASSERT_TRUE(r3.success);
+    EXPECT_FALSE(r3.reused);
+    EXPECT_EQ(r3.srcTags[0], r1.destTag);
+}
+
+TEST(ReuseRenamer, BankShadowCapacityLimitsReuse)
+{
+    // All free registers have exactly one shadow cell.
+    ReuseRenamerParams p;
+    p.intBanks = {32, 16, 0, 0};
+    p.fpBanks = {32, 16, 0, 0};
+    ReuseRenamer rn(p);
+
+    auto r1 = rn.rename(addInst(1, 2, 3));
+    auto r2 = rn.rename(addInst(1, 1, 3));   // v1 (uses the shadow cell)
+    ASSERT_TRUE(r2.reused);
+    auto r3 = rn.rename(addInst(1, 1, 3));   // no shadow cell left
+    ASSERT_TRUE(r3.success);
+    EXPECT_FALSE(r3.reused);
+    EXPECT_NE(r3.destTag.reg, r1.destTag.reg);
+}
+
+TEST(ReuseRenamer, CounterBitsAblation)
+{
+    // 1-bit counter: version saturates at 1 even with 3 shadow cells.
+    auto p = bigShadowParams();
+    p.counterBits = 1;
+    ReuseRenamer rn(p);
+    EXPECT_EQ(rn.maxVersions(), 2u);
+
+    rn.rename(addInst(1, 2, 3));
+    auto r2 = rn.rename(addInst(1, 1, 3));
+    EXPECT_TRUE(r2.reused);
+    auto r3 = rn.rename(addInst(1, 1, 3));
+    EXPECT_FALSE(r3.reused);
+}
+
+TEST(ReuseRenamer, ReuseDisabledAblationBehavesLikeBaseline)
+{
+    auto p = bigShadowParams();
+    p.reuseEnabled = false;
+    ReuseRenamer rn(p);
+    rn.rename(addInst(1, 2, 3));
+    auto r2 = rn.rename(addInst(1, 1, 3));
+    EXPECT_FALSE(r2.reused);
+}
+
+TEST(ReuseRenamer, NonRedefReuseRequiresPredictor)
+{
+    ReuseRenamer rn(bigShadowParams());
+    const Addr producer_pc = 0x4000;
+
+    // Cold predictor: first consumer that does not redefine gets no
+    // reuse.
+    auto r1 = rn.rename(movzInst(1, producer_pc));
+    auto r2 = rn.rename(addInst(7, 1, 9));
+    EXPECT_FALSE(r2.reused);
+    EXPECT_NE(r2.destTag.reg, r1.destTag.reg);
+
+    // Warm the producer's predictor entry: pretend reuse kept failing
+    // for lack of shadow cells so the entry climbs above zero.
+    auto &tp = rn.predictor();
+    tp.trainOnShadowExhausted(tp.indexFor(producer_pc));
+
+    auto r3 = rn.rename(movzInst(2, producer_pc));
+    auto r4 = rn.rename(addInst(8, 2, 9));
+    ASSERT_TRUE(r4.success);
+    EXPECT_TRUE(r4.reused);
+    EXPECT_EQ(r4.destTag.reg, r3.destTag.reg);
+    EXPECT_EQ(r4.destTag.version, 1);
+}
+
+TEST(ReuseRenamer, SingleUseMispredictionTriggersRepair)
+{
+    ReuseRenamer rn(bigShadowParams());
+    const Addr producer_pc = 0x4000;
+    auto &tp = rn.predictor();
+    tp.trainOnShadowExhausted(tp.indexFor(producer_pc));
+
+    auto r1 = rn.rename(movzInst(1, producer_pc));
+    auto r2 = rn.rename(addInst(7, 1, 9));     // speculative reuse of x1
+    ASSERT_TRUE(r2.reused);
+
+    // A second consumer of x1 arrives: misprediction.  The producer of
+    // the current version (the reusing instruction) has executed, so
+    // the old value sits in a shadow cell: 3 move uops.
+    auto executed = [&](const PhysRegTag &) { return true; };
+    auto r3 = rn.rename(addInst(8, 1, 9), executed);
+    ASSERT_TRUE(r3.success);
+    EXPECT_EQ(r3.numRepairs, 1);
+    EXPECT_EQ(r3.repairUops, 3);
+    EXPECT_EQ(r3.repairList[0].fromTag, r1.destTag);
+    EXPECT_EQ(r3.repairList[0].toTag.version, 0);
+    EXPECT_NE(r3.repairList[0].toTag.reg, r1.destTag.reg);
+    // The consumer reads the repaired register.
+    EXPECT_EQ(r3.srcTags[0], r3.repairList[0].toTag);
+    // The map is re-pointed: further consumers need no repair.
+    auto r4 = rn.rename(addInst(9, 1, 9));
+    EXPECT_EQ(r4.numRepairs, 0);
+    EXPECT_EQ(r4.srcTags[0], r3.repairList[0].toTag);
+}
+
+TEST(ReuseRenamer, RepairCostsOneUopIfProducerNotExecuted)
+{
+    ReuseRenamer rn(bigShadowParams());
+    auto &tp = rn.predictor();
+    tp.trainOnShadowExhausted(tp.indexFor(0x4000));
+    rn.rename(movzInst(1, 0x4000));
+    rn.rename(addInst(7, 1, 9));
+    auto not_executed = [&](const PhysRegTag &) { return false; };
+    auto r3 = rn.rename(addInst(8, 1, 9), not_executed);
+    EXPECT_EQ(r3.repairUops, 1);
+}
+
+TEST(ReuseRenamer, SharedRegisterNotReleasedWhileStaleRefExists)
+{
+    ReuseRenamer rn(bigShadowParams());
+    auto &tp = rn.predictor();
+    tp.trainOnShadowExhausted(tp.indexFor(0x4000));
+
+    auto free0 = rn.freeRegs(RegClass::Int);
+    auto r1 = rn.rename(movzInst(1, 0x4000));    // x1 -> P
+    auto r2 = rn.rename(addInst(7, 1, 9));       // x7 reuses P (v1)
+    ASSERT_TRUE(r2.reused);
+    auto r3 = rn.rename(movzInst(7, 0x5000));    // x7 redefined -> Q
+    rn.commit(r1);
+    rn.commit(r2);
+    rn.commit(r3);
+    // P and Q are in use; the identity registers originally mapped to
+    // x1 and x7 were released by the commits, so the net free count is
+    // back to free0 — but P must NOT be among the free ones: the
+    // retirement map of x1 still names (P, v0), whose committed value
+    // lives in a shadow cell.
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), free0);
+    EXPECT_GE(rn.committedShadowValues(), 1u);
+
+    // Redefine x1; once that commits, P finally dies (one alloc for the
+    // new mapping, one release of P: net unchanged).
+    auto r4 = rn.rename(movzInst(1, 0x6000));
+    rn.commit(r4);
+    EXPECT_EQ(rn.committedShadowValues(), 0u);
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), free0);
+}
+
+TEST(ReuseRenamer, CommitChainReleasesOnlyOldMapping)
+{
+    ReuseRenamer rn(bigShadowParams());
+    auto free0 = rn.freeRegs(RegClass::Int);
+    auto r1 = rn.rename(addInst(1, 2, 3));
+    auto r2 = rn.rename(addInst(1, 1, 4));
+    ASSERT_TRUE(r2.reused);
+    rn.commit(r1);
+    // Identity P1 (x1's original mapping) released at I1's commit.
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), free0);
+    rn.commit(r2);
+    // Reuse releases nothing further (release-on-rename semantics).
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), free0);
+}
+
+TEST(ReuseRenamer, SquashRestoresFullState)
+{
+    ReuseRenamer rn(bigShadowParams());
+    auto &tp = rn.predictor();
+    tp.trainOnShadowExhausted(tp.indexFor(0x4000));
+
+    auto token = rn.historyPosition();
+    auto free0 = rn.freeRegs(RegClass::Int);
+    std::vector<PhysRegTag> maps0;
+    for (LogRegIndex r = 0; r < isa::numLogRegs; ++r)
+        maps0.push_back(rn.mapping(RegClass::Int, r));
+
+    // A burst with allocation, redefining reuse, non-redef reuse and a
+    // repair.
+    rn.rename(movzInst(1, 0x4000));
+    rn.rename(addInst(1, 1, 3));
+    rn.rename(addInst(7, 1, 9));
+    rn.rename(addInst(8, 1, 9), [](const PhysRegTag &) { return true; });
+    rn.rename(addInst(2, 5, 6));
+
+    auto recoveries = rn.squashTo(token);
+    EXPECT_GE(recoveries, 1u);   // the undone reuses needed recovery
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), free0);
+    for (LogRegIndex r = 0; r < isa::numLogRegs; ++r)
+        EXPECT_EQ(rn.mapping(RegClass::Int, r), maps0[r]) << "reg " << r;
+    // After restoration a fresh identical burst behaves identically.
+    auto ra = rn.rename(movzInst(1, 0x4000));
+    EXPECT_TRUE(ra.success);
+}
+
+TEST(ReuseRenamer, PartialSquashKeepsOlderReuse)
+{
+    ReuseRenamer rn(bigShadowParams());
+    auto r1 = rn.rename(addInst(1, 2, 3));
+    auto r2 = rn.rename(addInst(1, 1, 3));   // reuse v1
+    ASSERT_TRUE(r2.reused);
+    auto mid = rn.historyPosition();
+    auto r3 = rn.rename(addInst(1, 1, 4));   // reuse v2
+    ASSERT_TRUE(r3.reused);
+
+    rn.squashTo(mid);
+    EXPECT_EQ(rn.mapping(RegClass::Int, 1), r2.destTag);
+    // Renaming the same instruction again reproduces version 2.
+    auto r3b = rn.rename(addInst(1, 1, 4));
+    EXPECT_TRUE(r3b.reused);
+    EXPECT_EQ(r3b.destTag, r3.destTag);
+    (void)r1;
+}
+
+TEST(ReuseRenamer, StallOnlyWhenNoFreeRegAndNoReuse)
+{
+    ReuseRenamerParams p;
+    p.intBanks = {33, 0, 0, 0};   // one spare register, no shadow cells
+    p.fpBanks = {33, 0, 0, 0};
+    ReuseRenamer rn(p);
+
+    auto r1 = rn.rename(addInst(1, 2, 3));
+    ASSERT_TRUE(r1.success);
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), 0u);
+    // No free register and bank-0 registers cannot be shared: stall.
+    auto r2 = rn.rename(addInst(2, 1, 3));
+    EXPECT_FALSE(r2.success);
+
+    // Same situation but with shadow capacity: reuse avoids the stall.
+    ReuseRenamerParams p2;
+    p2.intBanks = {32, 0, 0, 1};
+    p2.fpBanks = {33, 0, 0, 0};
+    ReuseRenamer rn2(p2);
+    auto q1 = rn2.rename(addInst(1, 2, 3));
+    ASSERT_TRUE(q1.success);
+    EXPECT_EQ(rn2.freeRegs(RegClass::Int), 0u);
+    auto q2 = rn2.rename(addInst(1, 1, 3));   // redefining reuse
+    EXPECT_TRUE(q2.success);
+    EXPECT_TRUE(q2.reused);
+}
+
+TEST(ReuseRenamer, Figure12CountersAccumulate)
+{
+    ReuseRenamer rn(bigShadowParams());
+    // Allocate and kill registers through interleaved commits so
+    // releases happen and the classification counters move.  The free
+    // register count must return to its initial value minus the four
+    // live mappings' churn (each logical register always holds exactly
+    // one committed mapping).
+    auto free0 = rn.freeRegs(RegClass::Int);
+    for (int i = 0; i < 50; ++i) {
+        auto r = rn.rename(movzInst(1 + (i % 4), 0x7000 + 16 * i));
+        ASSERT_TRUE(r.success);
+        rn.commit(r);
+    }
+    // Four logical registers moved from identity (bank 0) registers to
+    // bank-3 registers; everything else was released.
+    EXPECT_EQ(rn.freeRegs(RegClass::Int), free0);
+    EXPECT_EQ(rn.committedShadowValues(), 0u);
+}
+
+TEST(ReuseRenamer, ShadowOccupancyIntrospection)
+{
+    ReuseRenamer rn(bigShadowParams());
+    EXPECT_EQ(rn.bankInUse(RegClass::Int, 0), 32u);
+    EXPECT_EQ(rn.bankInUse(RegClass::Int, 3), 0u);
+    rn.rename(addInst(1, 2, 3));
+    EXPECT_EQ(rn.bankInUse(RegClass::Int, 3), 1u);
+    rn.rename(addInst(1, 1, 3));
+    EXPECT_EQ(rn.sharedAtLeast(RegClass::Int, 1), 1u);
+    EXPECT_EQ(rn.sharedAtLeast(RegClass::Int, 2), 0u);
+}
+
+TEST(ReuseRenamer, FpChainSharesToo)
+{
+    ReuseRenamer rn(bigShadowParams());
+    auto f1 = rn.rename(makeInst(isa::Opcode::Fadd, isa::fpReg(1),
+                                 isa::fpReg(2), isa::fpReg(3)));
+    auto f2 = rn.rename(makeInst(isa::Opcode::Fmul, isa::fpReg(1),
+                                 isa::fpReg(1), isa::fpReg(4)));
+    ASSERT_TRUE(f2.success);
+    EXPECT_TRUE(f2.reused);
+    EXPECT_EQ(f2.destTag.cls, RegClass::Float);
+    EXPECT_EQ(f2.destTag.reg, f1.destTag.reg);
+}
+
+TEST(ReuseRenamer, CrossClassNeverReuses)
+{
+    ReuseRenamer rn(bigShadowParams());
+    // fcvt f1 <- x1: source int, dest fp; sharing is impossible.
+    rn.rename(movzInst(1));
+    auto r = rn.rename(makeInst(isa::Opcode::Fcvt, isa::fpReg(1),
+                                isa::intReg(1)));
+    ASSERT_TRUE(r.success);
+    EXPECT_FALSE(r.reused);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+// Unit tests for the statistics package and the text-table formatter.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace {
+
+using namespace rrs::stats;
+
+TEST(Scalar, IncrementAndAssign)
+{
+    Group g("g");
+    Scalar s(&g, "count", "a counter");
+    ++s;
+    s += 3.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.5);
+    s = 10;
+    EXPECT_DOUBLE_EQ(s.value(), 10);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0);
+}
+
+TEST(Average, MeanMinMax)
+{
+    Group g("g");
+    Average a(&g, "occ", "occupancy");
+    a.sample(2);
+    a.sample(4);
+    a.sample(9);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Group g("g");
+    Average a(&g, "x", "");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(DistributionStat, FractionsAndMean)
+{
+    Group g("g");
+    Distribution d(&g, "uses", "consumer counts");
+    d.sample(1, 50);
+    d.sample(2, 30);
+    d.sample(5, 20);
+    EXPECT_EQ(d.samples(), 100u);
+    EXPECT_DOUBLE_EQ(d.fraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(d.fraction(2), 0.3);
+    EXPECT_DOUBLE_EQ(d.fraction(3), 0.0);
+    EXPECT_DOUBLE_EQ(d.fractionAtLeast(2), 0.5);
+    EXPECT_DOUBLE_EQ(d.mean(), (1 * 50 + 2 * 30 + 5 * 20) / 100.0);
+}
+
+TEST(GroupDump, NestedPrefixes)
+{
+    Group root("core");
+    Group child("rename", &root);
+    Scalar s1(&root, "cycles", "total cycles");
+    Scalar s2(&child, "stalls", "rename stalls");
+    s1 = 100;
+    s2 = 7;
+    std::ostringstream oss;
+    root.dump(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("core.cycles 100"), std::string::npos);
+    EXPECT_NE(out.find("core.rename.stalls 7"), std::string::npos);
+}
+
+TEST(GroupDump, ResetRecurses)
+{
+    Group root("r");
+    Group child("c", &root);
+    Scalar s(&child, "n", "");
+    s = 5;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(s.value(), 0);
+}
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable t({"bench", "speedup"});
+    t.row().cell("mcf").cell(1.0471, 3);
+    t.row().cell("lbm").cell(1.122, 3);
+    std::ostringstream oss;
+    t.print(oss, "Figure 10");
+    std::string out = oss.str();
+    EXPECT_NE(out.find("Figure 10"), std::string::npos);
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("1.047"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, CsvEscaping)
+{
+    TextTable t({"name", "v"});
+    t.row().cell("with,comma").cell(std::uint64_t{3});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_NE(oss.str().find("\"with,comma\",3"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+// Tests for the workload suite: every kernel must assemble, run to
+// completion (halt, not the safety cap), produce a stable checksum,
+// and exhibit value-usage statistics in the band its suite stands in
+// for.
+
+#include <gtest/gtest.h>
+
+#include "trace/analysis.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace rrs;
+using workloads::Workload;
+
+class EveryWorkload : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EveryWorkload, RunsToHaltDeterministically)
+{
+    const Workload &w = workloads::workload(GetParam());
+    // makeStream skips the init phase (warmup) and then caps the
+    // stream; a generous cap means the run total staying below it
+    // proves the kernel halted on its own.
+    auto e1 = workloads::makeStream(w, 8'000'000);
+    std::uint64_t n1 = e1->run();
+    EXPECT_LT(n1, 8'000'000u) << w.name << " did not halt";
+    EXPECT_GT(n1, 100'000u) << w.name << " is too short to be meaningful";
+
+    // Every kernel must declare a warmup boundary for measurement.
+    EXPECT_TRUE(workloads::program(w).symbols.count("warmup_done"))
+        << w.name;
+
+    // Checksum lives at the program's `result` symbol and must be
+    // reproducible.
+    Addr result = workloads::program(w).symbol("result");
+    std::uint64_t sum1 = e1->memory().read(result, 8);
+
+    auto e2 = workloads::makeStream(w, 8'000'000);
+    e2->run();
+    EXPECT_EQ(e2->memory().read(result, 8), sum1) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, EveryWorkload,
+    ::testing::Values("int_sort", "int_hash", "int_crc", "int_sieve",
+                      "int_match", "int_graph", "int_lz", "fp_matmul",
+                      "fp_fir", "fp_jacobi", "fp_nbody", "fp_horner",
+                      "fp_chain", "fp_blur", "media_adpcm", "media_dct",
+                      "media_sobel", "media_g711", "cog_gmm", "cog_dnn",
+                      "cog_knn"));
+
+TEST(WorkloadRegistry, SuitesArePopulated)
+{
+    EXPECT_EQ(workloads::suiteWorkloads("specint").size(), 7u);
+    EXPECT_EQ(workloads::suiteWorkloads("specfp").size(), 7u);
+    EXPECT_EQ(workloads::suiteWorkloads("media").size(), 4u);
+    EXPECT_EQ(workloads::suiteWorkloads("cognitive").size(), 3u);
+    EXPECT_EQ(workloads::allWorkloads().size(), 21u);
+}
+
+TEST(WorkloadCharacter, FpSuiteHasMoreSingleUseThanIntSuite)
+{
+    auto suiteSingleUse = [](const std::string &suite) {
+        double sum = 0;
+        auto list = workloads::suiteWorkloads(suite);
+        for (const auto &w : list) {
+            auto stream = workloads::makeStream(w, 300'000);
+            auto rep = trace::analyzeUsage(*stream, 300'000);
+            sum += rep.fracSingleConsumer();
+        }
+        return sum / static_cast<double>(list.size());
+    };
+    double fp = suiteSingleUse("specfp");
+    double intg = suiteSingleUse("specint");
+    // The paper's headline motivation: FP codes have notably more
+    // single-consumer values than integer codes.
+    EXPECT_GT(fp, intg);
+    EXPECT_GT(fp, 0.35);    // paper: > 50% of instructions for SPECfp
+    EXPECT_GT(intg, 0.15);  // paper: > 30% for SPECint
+}
+
+TEST(WorkloadCharacter, MostValuesHaveFewConsumers)
+{
+    // Paper Figure 2: single-consumer values dominate.
+    const Workload &w = workloads::workload("fp_horner");
+    auto stream = workloads::makeStream(w, 200'000);
+    auto rep = trace::analyzeUsage(*stream, 200'000);
+    EXPECT_GT(rep.fracConsumers(1), 0.4);
+}
+
+TEST(WorkloadCharacter, SortCheckSumsSorted)
+{
+    // int_sort's checksum is first+last element of the sorted array:
+    // re-derive by peeking at memory after the run.
+    const Workload &w = workloads::workload("int_sort");
+    auto e = workloads::makeStream(w, 3'000'000);
+    e->run();
+    Addr arr = workloads::program(w).symbol("arr");
+    // The final round's array must be sorted ascending.
+    std::uint64_t prev = e->memory().read(arr, 8);
+    for (int i = 1; i < 256; ++i) {
+        std::uint64_t v = e->memory().read(arr + 8 * static_cast<Addr>(i), 8);
+        ASSERT_LE(prev, v) << "array not sorted at " << i;
+        prev = v;
+    }
+}
+
+TEST(WorkloadCharacter, SieveCountsPrimes)
+{
+    const Workload &w = workloads::workload("int_sieve");
+    auto e = workloads::makeStream(w, 3'000'000);
+    e->run();
+    Addr result = workloads::program(w).symbol("result");
+    // pi(32768) = 3512; the kernel accumulates over 2 rounds.
+    EXPECT_EQ(e->memory().read(result, 8), 2u * 3512u);
+}
+
+} // namespace
