@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_counter_bits.dir/abl_counter_bits.cpp.o"
+  "CMakeFiles/abl_counter_bits.dir/abl_counter_bits.cpp.o.d"
+  "abl_counter_bits"
+  "abl_counter_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_counter_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_predictor_size.dir/abl_predictor_size.cpp.o"
+  "CMakeFiles/abl_predictor_size.dir/abl_predictor_size.cpp.o.d"
+  "abl_predictor_size"
+  "abl_predictor_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_predictor_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

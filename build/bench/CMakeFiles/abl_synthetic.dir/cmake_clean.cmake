@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_synthetic.dir/abl_synthetic.cpp.o"
+  "CMakeFiles/abl_synthetic.dir/abl_synthetic.cpp.o.d"
+  "abl_synthetic"
+  "abl_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

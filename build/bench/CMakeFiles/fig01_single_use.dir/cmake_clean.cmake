@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_single_use.dir/fig01_single_use.cpp.o"
+  "CMakeFiles/fig01_single_use.dir/fig01_single_use.cpp.o.d"
+  "fig01_single_use"
+  "fig01_single_use.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_single_use.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

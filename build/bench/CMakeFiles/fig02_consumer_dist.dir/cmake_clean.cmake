@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_consumer_dist.dir/fig02_consumer_dist.cpp.o"
+  "CMakeFiles/fig02_consumer_dist.dir/fig02_consumer_dist.cpp.o.d"
+  "fig02_consumer_dist"
+  "fig02_consumer_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_consumer_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

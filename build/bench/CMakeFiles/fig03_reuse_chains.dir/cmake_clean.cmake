@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_reuse_chains.dir/fig03_reuse_chains.cpp.o"
+  "CMakeFiles/fig03_reuse_chains.dir/fig03_reuse_chains.cpp.o.d"
+  "fig03_reuse_chains"
+  "fig03_reuse_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_reuse_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

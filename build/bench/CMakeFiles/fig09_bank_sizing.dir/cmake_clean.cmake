@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bank_sizing.dir/fig09_bank_sizing.cpp.o"
+  "CMakeFiles/fig09_bank_sizing.dir/fig09_bank_sizing.cpp.o.d"
+  "fig09_bank_sizing"
+  "fig09_bank_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bank_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

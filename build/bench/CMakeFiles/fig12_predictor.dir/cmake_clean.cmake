@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_predictor.dir/fig12_predictor.cpp.o"
+  "CMakeFiles/fig12_predictor.dir/fig12_predictor.cpp.o.d"
+  "fig12_predictor"
+  "fig12_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

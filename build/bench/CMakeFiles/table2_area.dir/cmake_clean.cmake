@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_area.dir/table2_area.cpp.o"
+  "CMakeFiles/table2_area.dir/table2_area.cpp.o.d"
+  "table2_area"
+  "table2_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

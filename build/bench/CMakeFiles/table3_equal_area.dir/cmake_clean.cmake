@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_equal_area.dir/table3_equal_area.cpp.o"
+  "CMakeFiles/table3_equal_area.dir/table3_equal_area.cpp.o.d"
+  "table3_equal_area"
+  "table3_equal_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_equal_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

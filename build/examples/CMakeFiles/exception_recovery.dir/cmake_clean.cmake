@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exception_recovery.dir/exception_recovery.cpp.o"
+  "CMakeFiles/exception_recovery.dir/exception_recovery.cpp.o.d"
+  "exception_recovery"
+  "exception_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exception_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

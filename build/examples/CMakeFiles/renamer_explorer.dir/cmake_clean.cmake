@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renamer_explorer.dir/renamer_explorer.cpp.o"
+  "CMakeFiles/renamer_explorer.dir/renamer_explorer.cpp.o.d"
+  "renamer_explorer"
+  "renamer_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renamer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("isa")
+subdirs("emu")
+subdirs("trace")
+subdirs("bpred")
+subdirs("mem")
+subdirs("rename")
+subdirs("core")
+subdirs("area")
+subdirs("workloads")
+subdirs("harness")

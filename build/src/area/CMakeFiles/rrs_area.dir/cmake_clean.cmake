@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_area.dir/area.cc.o"
+  "CMakeFiles/rrs_area.dir/area.cc.o.d"
+  "librrs_area.a"
+  "librrs_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

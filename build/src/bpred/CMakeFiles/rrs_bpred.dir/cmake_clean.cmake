@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_bpred.dir/bpred.cc.o"
+  "CMakeFiles/rrs_bpred.dir/bpred.cc.o.d"
+  "librrs_bpred.a"
+  "librrs_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

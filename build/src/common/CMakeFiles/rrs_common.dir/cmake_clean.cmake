@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_common.dir/logging.cc.o"
+  "CMakeFiles/rrs_common.dir/logging.cc.o.d"
+  "CMakeFiles/rrs_common.dir/strutils.cc.o"
+  "CMakeFiles/rrs_common.dir/strutils.cc.o.d"
+  "librrs_common.a"
+  "librrs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

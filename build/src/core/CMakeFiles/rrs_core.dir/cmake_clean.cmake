@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_core.dir/o3core.cc.o"
+  "CMakeFiles/rrs_core.dir/o3core.cc.o.d"
+  "librrs_core.a"
+  "librrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_emu.dir/emulator.cc.o"
+  "CMakeFiles/rrs_emu.dir/emulator.cc.o.d"
+  "librrs_emu.a"
+  "librrs_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

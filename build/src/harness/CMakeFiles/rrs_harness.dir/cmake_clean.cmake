@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_harness.dir/experiment.cc.o"
+  "CMakeFiles/rrs_harness.dir/experiment.cc.o.d"
+  "librrs_harness.a"
+  "librrs_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

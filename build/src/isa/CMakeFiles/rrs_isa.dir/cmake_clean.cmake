@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_isa.dir/assembler.cc.o"
+  "CMakeFiles/rrs_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/rrs_isa.dir/isa.cc.o"
+  "CMakeFiles/rrs_isa.dir/isa.cc.o.d"
+  "librrs_isa.a"
+  "librrs_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_mem.dir/cache.cc.o"
+  "CMakeFiles/rrs_mem.dir/cache.cc.o.d"
+  "CMakeFiles/rrs_mem.dir/dram.cc.o"
+  "CMakeFiles/rrs_mem.dir/dram.cc.o.d"
+  "CMakeFiles/rrs_mem.dir/memsystem.cc.o"
+  "CMakeFiles/rrs_mem.dir/memsystem.cc.o.d"
+  "CMakeFiles/rrs_mem.dir/tlb.cc.o"
+  "CMakeFiles/rrs_mem.dir/tlb.cc.o.d"
+  "librrs_mem.a"
+  "librrs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_rename.dir/baseline.cc.o"
+  "CMakeFiles/rrs_rename.dir/baseline.cc.o.d"
+  "CMakeFiles/rrs_rename.dir/predictor.cc.o"
+  "CMakeFiles/rrs_rename.dir/predictor.cc.o.d"
+  "CMakeFiles/rrs_rename.dir/reuse.cc.o"
+  "CMakeFiles/rrs_rename.dir/reuse.cc.o.d"
+  "librrs_rename.a"
+  "librrs_rename.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_rename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rrs_rename.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_stats.dir/stats.cc.o"
+  "CMakeFiles/rrs_stats.dir/stats.cc.o.d"
+  "CMakeFiles/rrs_stats.dir/table.cc.o"
+  "CMakeFiles/rrs_stats.dir/table.cc.o.d"
+  "librrs_stats.a"
+  "librrs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

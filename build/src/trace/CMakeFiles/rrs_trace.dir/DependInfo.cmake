@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cc" "src/trace/CMakeFiles/rrs_trace.dir/analysis.cc.o" "gcc" "src/trace/CMakeFiles/rrs_trace.dir/analysis.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/rrs_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/rrs_trace.dir/synthetic.cc.o.d"
+  "/root/repo/src/trace/wrongpath.cc" "src/trace/CMakeFiles/rrs_trace.dir/wrongpath.cc.o" "gcc" "src/trace/CMakeFiles/rrs_trace.dir/wrongpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rrs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

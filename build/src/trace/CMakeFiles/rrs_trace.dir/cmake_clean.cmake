@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_trace.dir/analysis.cc.o"
+  "CMakeFiles/rrs_trace.dir/analysis.cc.o.d"
+  "CMakeFiles/rrs_trace.dir/synthetic.cc.o"
+  "CMakeFiles/rrs_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/rrs_trace.dir/wrongpath.cc.o"
+  "CMakeFiles/rrs_trace.dir/wrongpath.cc.o.d"
+  "librrs_trace.a"
+  "librrs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels_cog.cc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_cog.cc.o" "gcc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_cog.cc.o.d"
+  "/root/repo/src/workloads/kernels_extra.cc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_extra.cc.o" "gcc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_extra.cc.o.d"
+  "/root/repo/src/workloads/kernels_fp.cc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_fp.cc.o" "gcc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_fp.cc.o.d"
+  "/root/repo/src/workloads/kernels_int.cc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_int.cc.o" "gcc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_int.cc.o.d"
+  "/root/repo/src/workloads/kernels_media.cc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_media.cc.o" "gcc" "src/workloads/CMakeFiles/rrs_workloads.dir/kernels_media.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/rrs_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/rrs_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/rrs_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rrs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rrs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_workloads.dir/kernels_cog.cc.o"
+  "CMakeFiles/rrs_workloads.dir/kernels_cog.cc.o.d"
+  "CMakeFiles/rrs_workloads.dir/kernels_extra.cc.o"
+  "CMakeFiles/rrs_workloads.dir/kernels_extra.cc.o.d"
+  "CMakeFiles/rrs_workloads.dir/kernels_fp.cc.o"
+  "CMakeFiles/rrs_workloads.dir/kernels_fp.cc.o.d"
+  "CMakeFiles/rrs_workloads.dir/kernels_int.cc.o"
+  "CMakeFiles/rrs_workloads.dir/kernels_int.cc.o.d"
+  "CMakeFiles/rrs_workloads.dir/kernels_media.cc.o"
+  "CMakeFiles/rrs_workloads.dir/kernels_media.cc.o.d"
+  "CMakeFiles/rrs_workloads.dir/workloads.cc.o"
+  "CMakeFiles/rrs_workloads.dir/workloads.cc.o.d"
+  "librrs_workloads.a"
+  "librrs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

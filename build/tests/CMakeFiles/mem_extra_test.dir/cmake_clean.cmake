@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_extra_test.dir/mem_extra_test.cpp.o"
+  "CMakeFiles/mem_extra_test.dir/mem_extra_test.cpp.o.d"
+  "mem_extra_test"
+  "mem_extra_test.pdb"
+  "mem_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rename_baseline_test.dir/rename_baseline_test.cpp.o"
+  "CMakeFiles/rename_baseline_test.dir/rename_baseline_test.cpp.o.d"
+  "rename_baseline_test"
+  "rename_baseline_test.pdb"
+  "rename_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rename_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rename_property_test.dir/rename_property_test.cpp.o"
+  "CMakeFiles/rename_property_test.dir/rename_property_test.cpp.o.d"
+  "rename_property_test"
+  "rename_property_test.pdb"
+  "rename_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rename_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rename_reuse_test.dir/rename_reuse_test.cpp.o"
+  "CMakeFiles/rename_reuse_test.dir/rename_reuse_test.cpp.o.d"
+  "rename_reuse_test"
+  "rename_reuse_test.pdb"
+  "rename_reuse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rename_reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/synthetic_test.cpp" "tests/CMakeFiles/synthetic_test.dir/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/synthetic_test.dir/synthetic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rrs_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/rrs_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rrs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rename/CMakeFiles/rrs_rename.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rrs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/rrs_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rrs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/rrs_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rrs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rrs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
