@@ -3,32 +3,14 @@
  * Ablation B: register type predictor capacity (64..4096 entries; the
  * paper uses 512 x 2 bits = 1 Kbit) plus the policy ablations: no
  * non-redefining (speculative) reuse, and no reuse at all.
+ *
+ * Every (workload x config) run — all predictor sizes and all policy
+ * variants — executes in one parallel sweep.
  */
 
 #include "common.hh"
 
 using namespace rrs;
-
-namespace {
-
-double
-geomeanSpeedup(const harness::RunConfig &prop)
-{
-    std::vector<double> speedups;
-    for (const auto &w : workloads::allWorkloads()) {
-        auto base = harness::baselineConfig(56);
-        base.maxInsts = bench::timingInsts;
-        auto cfg = prop;
-        cfg.maxInsts = bench::timingInsts;
-        auto ob = harness::runOn(w, base);
-        auto op = harness::runOn(w, cfg);
-        speedups.push_back(static_cast<double>(ob.sim.cycles) /
-                           static_cast<double>(op.sim.cycles));
-    }
-    return harness::geomean(speedups);
-}
-
-} // namespace
 
 int
 main()
@@ -37,32 +19,38 @@ main()
                   "paper uses a 512-entry, 2-bit predictor (1 Kbit); "
                   "speculative reuse needs the predictor");
 
-    stats::TextTable t({"configuration", "geomean speedup @56"});
+    std::vector<harness::RunConfig> configs;
+    std::vector<std::string> labels;
     for (std::uint32_t entries : {64u, 128u, 512u, 2048u, 4096u}) {
         auto cfg = harness::reuseConfig(56);
         cfg.reuse.predictor.entries = entries;
-        t.row()
-            .cell(std::to_string(entries) + "-entry predictor")
-            .cell(geomeanSpeedup(cfg), 4);
+        configs.push_back(cfg);
+        labels.push_back(std::to_string(entries) + "-entry predictor");
     }
     {
         auto cfg = harness::reuseConfig(56);
         cfg.reuse.reuseNonRedef = false;
-        t.row().cell("redefining-only reuse").cell(geomeanSpeedup(cfg),
-                                                   4);
+        configs.push_back(cfg);
+        labels.push_back("redefining-only reuse");
     }
     {
         auto cfg = harness::reuseConfig(56);
         cfg.reuse.nonRedefConfidence = 2;
-        t.row().cell("high-confidence speculation")
-            .cell(geomeanSpeedup(cfg), 4);
+        configs.push_back(cfg);
+        labels.push_back("high-confidence speculation");
     }
     {
         auto cfg = harness::reuseConfig(56);
         cfg.reuse.reuseEnabled = false;
-        t.row().cell("reuse disabled (capacity-only)")
-            .cell(geomeanSpeedup(cfg), 4);
+        configs.push_back(cfg);
+        labels.push_back("reuse disabled (capacity-only)");
     }
+
+    auto speedups = bench::geomeanSpeedups(configs, 56);
+
+    stats::TextTable t({"configuration", "geomean speedup @56"});
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        t.row().cell(labels[i]).cell(speedups[i], 4);
     t.print(std::cout, "Predictor/policy ablation at the 56-register "
                        "equal-area point");
     std::printf("\nShape checks: 512 entries is within noise of 4096 "
@@ -70,5 +58,6 @@ main()
                 "the raw capacity deficit of the equal-area file; "
                 "speculative reuse recovers more than redefining-only "
                 "reuse.\n");
+    bench::sweepFooter();
     return 0;
 }

@@ -4,6 +4,10 @@
  * with the synthetic stream generator — something no fixed workload
  * can do.  Validates the paper's core premise: the benefit of register
  * sharing grows with the fraction of single-use values.
+ *
+ * The (fraction x scheme) grid runs in parallel on the thread pool;
+ * every run owns its stream, models and seed, so the table is
+ * bit-identical for every RRS_THREADS value.
  */
 
 #include "bpred/bpred.hh"
@@ -53,17 +57,26 @@ runSynthetic(double singleUse, bool reuseScheme)
 int
 main()
 {
-    bench::banner("Ablation: synthetic single-use fraction sweep",
-                  "the paper's premise: more single-use values => more "
-                  "register sharing => larger equal-area speedup");
+    bench::banner("Ablation: single-use fraction sweep (synthetic)",
+                  "speedup of the proposed scheme grows with the "
+                  "injected single-use fraction");
+
+    const std::vector<double> fractions = {0.0, 0.2, 0.4, 0.6, 0.8};
+    // Grid cells: [2*i] baseline, [2*i+1] proposed.
+    std::vector<double> cycles(fractions.size() * 2);
+    ThreadPool pool;
+    pool.parallelFor(cycles.size(), [&](std::size_t k) {
+        cycles[k] = runSynthetic(fractions[k / 2], k % 2 == 1);
+    });
 
     stats::TextTable t({"single-use fraction", "baseline cycles",
                         "proposed cycles", "speedup"});
     double last = 0;
-    for (double f : {0.0, 0.2, 0.4, 0.6, 0.8}) {
-        double b = runSynthetic(f, false);
-        double p = runSynthetic(f, true);
-        t.row().cell(f, 1).cell(b, 0).cell(p, 0).cell(b / p, 3);
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        double b = cycles[2 * i];
+        double p = cycles[2 * i + 1];
+        t.row().cell(fractions[i], 1).cell(b, 0).cell(p, 0)
+            .cell(b / p, 3);
         last = b / p;
     }
     t.print(std::cout,

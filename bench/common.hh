@@ -4,6 +4,13 @@
  * regenerates one of the paper's tables or figures: it runs the
  * required simulations, prints the measured rows/series next to the
  * paper's reference values, and states the shape being validated.
+ *
+ * All benches fan their simulations out through the parallel sweep
+ * engine (harness/sweep.hh): build every RunConfig up front, run one
+ * sweep, then print from the in-order results.  `RRS_THREADS` caps the
+ * lane count; the printed tables are bit-identical for every value of
+ * it, and each bench appends a one-line throughput footer
+ * (runs/s, Minst/s) so sweep speed is measurable.
  */
 
 #ifndef RRS_BENCH_COMMON_HH
@@ -14,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "common/threadpool.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "stats/table.hh"
 #include "trace/analysis.hh"
 #include "workloads/workloads.hh"
@@ -36,6 +45,21 @@ rfSizes()
     return sizes;
 }
 
+/** The bench process's sweep runner (thread count from RRS_THREADS). */
+inline harness::SweepRunner &
+sweeper()
+{
+    static harness::SweepRunner runner;
+    return runner;
+}
+
+/** Print the standard throughput footer for the last sweep. */
+inline void
+sweepFooter()
+{
+    sweeper().printSummary(std::cout);
+}
+
 /** Print a bench banner. */
 inline void
 banner(const std::string &what, const std::string &paperRef)
@@ -55,23 +79,114 @@ usageOf(const workloads::Workload &w,
     return trace::analyzeUsage(*stream, window);
 }
 
-/** Speedup of the proposed scheme at one equal-area sweep point. */
-inline double
-speedupAt(const workloads::Workload &w, std::uint32_t baselineRegs,
-          bool paperPreset = false,
-          std::uint64_t insts = timingInsts)
+/**
+ * Value-usage analyses for many workloads, fanned out across the
+ * sweep pool's sibling (analysis has no RunConfig, so it uses the
+ * thread pool directly).  Reports come back in input order.
+ */
+inline std::vector<trace::UsageReport>
+usageReports(const std::vector<workloads::Workload> &ws,
+             std::uint64_t window = analysisInsts)
 {
-    auto base = harness::baselineConfig(baselineRegs);
-    base.maxInsts = insts;
-    auto prop = harness::reuseConfig(baselineRegs);
-    prop.reuse.intBanks = harness::equalAreaBanks(baselineRegs,
-                                                  paperPreset);
-    prop.reuse.fpBanks = prop.reuse.intBanks;
-    prop.maxInsts = insts;
-    auto ob = harness::runOn(w, base);
-    auto op = harness::runOn(w, prop);
-    return static_cast<double>(ob.sim.cycles) /
-           static_cast<double>(op.sim.cycles);
+    std::vector<trace::UsageReport> out(ws.size());
+    ThreadPool pool;
+    pool.parallelFor(ws.size(), [&](std::size_t i) {
+        out[i] = usageOf(ws[i], window);
+    });
+    return out;
+}
+
+/**
+ * Baseline/proposed outcome pairs for every (workload, rf size) cell,
+ * computed with a single sweep.  Returned as [workload][size] pairs in
+ * input order.
+ */
+struct OutcomePair
+{
+    harness::Outcome base;
+    harness::Outcome prop;
+
+    double
+    speedup() const
+    {
+        return static_cast<double>(base.sim.cycles) /
+               static_cast<double>(prop.sim.cycles);
+    }
+};
+
+inline std::vector<std::vector<OutcomePair>>
+outcomeGrid(const std::vector<workloads::Workload> &ws,
+            const std::vector<std::uint32_t> &sizes,
+            bool paperPreset = false,
+            std::uint64_t insts = timingInsts)
+{
+    std::vector<harness::SweepItem> items;
+    items.reserve(ws.size() * sizes.size() * 2);
+    for (const auto &w : ws) {
+        for (std::uint32_t n : sizes) {
+            auto base = harness::baselineConfig(n);
+            base.maxInsts = insts;
+            auto prop = harness::reuseConfig(n);
+            prop.reuse.intBanks = harness::equalAreaBanks(n, paperPreset);
+            prop.reuse.fpBanks = prop.reuse.intBanks;
+            prop.maxInsts = insts;
+            items.push_back(harness::sweepItem(w, base));
+            items.push_back(harness::sweepItem(w, prop));
+        }
+    }
+    auto outs = sweeper().outcomes(items);
+    std::vector<std::vector<OutcomePair>> grid(ws.size());
+    std::size_t k = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        grid[wi].resize(sizes.size());
+        for (std::size_t si = 0; si < sizes.size(); ++si) {
+            grid[wi][si].base = std::move(outs[k++]);
+            grid[wi][si].prop = std::move(outs[k++]);
+        }
+    }
+    return grid;
+}
+
+/**
+ * Geomean speedups of a set of proposed configs against a common
+ * baseline size, one sweep for everything.  Used by the ablations:
+ * returns one geomean per config, in input order.
+ */
+inline std::vector<double>
+geomeanSpeedups(const std::vector<harness::RunConfig> &propConfigs,
+                std::uint32_t baselineRegs,
+                std::uint64_t insts = timingInsts)
+{
+    const auto &ws = workloads::allWorkloads();
+    std::vector<harness::SweepItem> items;
+    items.reserve(ws.size() * (propConfigs.size() + 1));
+    for (const auto &w : ws) {
+        auto base = harness::baselineConfig(baselineRegs);
+        base.maxInsts = insts;
+        items.push_back(harness::sweepItem(w, base));
+        for (const auto &prop : propConfigs) {
+            auto cfg = prop;
+            cfg.maxInsts = insts;
+            items.push_back(harness::sweepItem(w, cfg));
+        }
+    }
+    auto outs = sweeper().outcomes(items);
+    std::vector<std::vector<double>> speedups(propConfigs.size());
+    std::size_t k = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        const auto &base = outs[k++];
+        for (std::size_t ci = 0; ci < propConfigs.size(); ++ci) {
+            const auto &prop = outs[k++];
+            speedups[ci].push_back(
+                static_cast<double>(base.sim.cycles) /
+                static_cast<double>(prop.sim.cycles));
+        }
+    }
+    std::vector<double> out;
+    out.reserve(propConfigs.size());
+    for (const auto &s : speedups)
+        out.push_back(harness::geomean(s));
+    return out;
 }
 
 } // namespace rrs::bench

@@ -7,6 +7,9 @@
  *
  * Paper shapes to hold: SPECfp > 50% total, SPECint > 30% total, with
  * a substantial redefining share in both.
+ *
+ * The per-workload usage analyses run in parallel on the thread pool;
+ * the table is assembled from in-order results.
  */
 
 #include "common.hh"
@@ -20,15 +23,21 @@ main()
                   "SPECfp > 50%, SPECint > 30% of instructions are sole "
                   "consumers of a value");
 
+    const auto &all = workloads::allWorkloads();
+    auto reports = bench::usageReports(all);
+
     stats::TextTable t({"workload", "suite", "redefining%", "other%",
                         "total%"});
     for (const auto &suite : workloads::suiteNames()) {
         std::vector<double> redefs, others;
-        for (const auto &w : workloads::suiteWorkloads(suite)) {
-            auto rep = bench::usageOf(w);
+        for (std::size_t wi = 0; wi < all.size(); ++wi) {
+            if (all[wi].suite != suite)
+                continue;
+            const auto &rep = reports[wi];
             double r = 100.0 * rep.fracSingleConsumerRedef();
             double o = 100.0 * rep.fracSingleConsumerOther();
-            t.row().cell(w.name).cell(suite).cell(r).cell(o).cell(r + o);
+            t.row().cell(all[wi].name).cell(suite).cell(r).cell(o)
+                .cell(r + o);
             redefs.push_back(r);
             others.push_back(o);
         }

@@ -5,6 +5,8 @@
  *
  * Paper shape to hold: most values are consumed exactly once,
  * especially in SPECfp.
+ *
+ * The per-workload usage analyses run in parallel on the thread pool.
  */
 
 #include "common.hh"
@@ -18,15 +20,20 @@ main()
                   "single-consumer values dominate (most values are "
                   "consumed just once in SPEC)");
 
+    const auto &all = workloads::allWorkloads();
+    auto reports = bench::usageReports(all);
+
     stats::TextTable t({"workload", "1", "2", "3", "4", "5", "6+"});
     for (const auto &suite : workloads::suiteNames()) {
         std::vector<std::vector<double>> rows;
-        for (const auto &w : workloads::suiteWorkloads(suite)) {
-            auto rep = bench::usageOf(w);
+        for (std::size_t wi = 0; wi < all.size(); ++wi) {
+            if (all[wi].suite != suite)
+                continue;
+            const auto &rep = reports[wi];
             std::vector<double> row;
             for (std::uint64_t k = 1; k <= 6; ++k)
                 row.push_back(100.0 * rep.fracConsumers(k));
-            t.row().cell(w.name);
+            t.row().cell(all[wi].name);
             for (double v : row)
                 t.cell(v, 1);
             rows.push_back(row);

@@ -9,6 +9,8 @@
  * instructions at depths 1 / 2 / 3 and only 4.1% beyond; SPECint:
  * 22% / 5.2% / 2.3% / 1.2%.  Shape: reuse saturates quickly with the
  * chain cap — chains longer than four instructions are rare.
+ *
+ * The per-workload usage analyses run in parallel on the thread pool.
  */
 
 #include "common.hh"
@@ -22,12 +24,17 @@ main()
                   "SPECfp depth decomposition 32.3/12.3/5.9/4.1%; "
                   "SPECint 22/5.2/2.3/1.2%; caps beyond 3 add little");
 
+    const auto &all = workloads::allWorkloads();
+    auto reports = bench::usageReports(all);
+
     stats::TextTable t({"workload", "cap1%", "cap2%", "cap3%", "inf%",
                         "d1%", "d2%", "d3%", "d>3%"});
     for (const auto &suite : workloads::suiteNames()) {
         std::vector<std::array<double, 8>> rows;
-        for (const auto &w : workloads::suiteWorkloads(suite)) {
-            auto rep = bench::usageOf(w);
+        for (std::size_t wi = 0; wi < all.size(); ++wi) {
+            if (all[wi].suite != suite)
+                continue;
+            const auto &rep = reports[wi];
             auto depth = rep.reuseDepthBreakdown();
             std::array<double, 8> row{};
             for (int c = 0; c < 4; ++c)
@@ -36,7 +43,7 @@ main()
             for (int d = 0; d < 4; ++d)
                 row[static_cast<std::size_t>(4 + d)] =
                     100.0 * depth[static_cast<std::size_t>(d)];
-            t.row().cell(w.name);
+            t.row().cell(all[wi].name);
             for (double v : row)
                 t.cell(v, 1);
             rows.push_back(row);

@@ -4,6 +4,10 @@
  * 1, 2 and 3 shadow cells are needed to cover a given percentage of
  * execution time, measured with effectively unbounded shadow banks on
  * the SPECfp-like suite (the paper's methodology for tuning Table III).
+ *
+ * The per-workload sampling runs execute in one parallel sweep; the
+ * sampled series are concatenated in submission order, so the
+ * percentile table is bit-identical for every thread count.
  */
 
 #include <algorithm>
@@ -41,9 +45,15 @@ main()
     cfg.reuse.fpBanks = {32, 0, 0, 96};
     cfg.maxInsts = bench::timingInsts;
 
+    const auto ws = workloads::suiteWorkloads("specfp");
+    std::vector<harness::SweepItem> items;
+    items.reserve(ws.size());
+    for (const auto &w : ws)
+        items.push_back(harness::sweepItem(w, cfg, true));
+    auto outs = bench::sweeper().outcomes(items);
+
     std::vector<std::uint32_t> s1, s2, s3;
-    for (const auto &w : workloads::suiteWorkloads("specfp")) {
-        auto out = harness::runOn(w, cfg, true);
+    for (const auto &out : outs) {
         s1.insert(s1.end(), out.sharedAtLeast1.begin(),
                   out.sharedAtLeast1.end());
         s2.insert(s2.end(), out.sharedAtLeast2.begin(),
@@ -68,5 +78,6 @@ main()
                 "chains are rare) and the 90-95%% coverage points "
                 "motivate small shadow banks, as in the paper's "
                 "Table III and this repo's tuned rows.\n");
+    bench::sweepFooter();
     return 0;
 }

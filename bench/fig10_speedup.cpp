@@ -8,6 +8,9 @@
  * +0.82% at 48/56/64/80/96+; SPECint +47/+6.76/+2.29/+0.67/+0.41%.
  * The reproduced *shape*: benefits are largest for small register
  * files and vanish as the file grows.
+ *
+ * All (workload x size x scheme) runs go through one parallel sweep;
+ * the tables are bit-identical for every RRS_THREADS value.
  */
 
 #include "common.hh"
@@ -26,6 +29,9 @@ main(int argc, char **argv)
                            ? std::vector<std::uint32_t>{48, 64, 96}
                            : bench::rfSizes();
 
+    const auto &all = workloads::allWorkloads();
+    auto grid = bench::outcomeGrid(all, sizes);
+
     for (const auto &suite : workloads::suiteNames()) {
         std::vector<std::string> headers = {"workload"};
         for (auto n : sizes)
@@ -33,10 +39,12 @@ main(int argc, char **argv)
         stats::TextTable t(headers);
 
         std::vector<std::vector<double>> perSize(sizes.size());
-        for (const auto &w : workloads::suiteWorkloads(suite)) {
-            t.row().cell(w.name);
+        for (std::size_t wi = 0; wi < all.size(); ++wi) {
+            if (all[wi].suite != suite)
+                continue;
+            t.row().cell(all[wi].name);
             for (std::size_t i = 0; i < sizes.size(); ++i) {
-                double s = bench::speedupAt(w, sizes[i]);
+                double s = grid[wi][i].speedup();
                 t.cell(s, 3);
                 perSize[i].push_back(s);
             }
@@ -52,5 +60,6 @@ main(int argc, char **argv)
     std::printf("Shape checks: geomean speedups are highest at the "
                 "small end of the sweep and decay towards 1.0 at 96+ "
                 "registers, as in the paper's Figure 10.\n");
+    bench::sweepFooter();
     return 0;
 }

@@ -9,6 +9,9 @@
  * reaches the baseline's saturated IPC with roughly one size class
  * fewer registers (e.g. proposed@56 ~ baseline@64, a ~10.5-13% area
  * saving).
+ *
+ * Every (workload x size x scheme) run is fanned out in one parallel
+ * sweep before any aggregation.
  */
 
 #include "common.hh"
@@ -22,21 +25,23 @@ main()
                   "proposed reaches baseline IPC with ~1 size class "
                   "fewer registers (10.5% register-file reduction)");
 
+    const auto &all = workloads::allWorkloads();
+    auto grid = bench::outcomeGrid(all, bench::rfSizes());
+
     stats::TextTable t({"regs", "baseline IPC", "proposed IPC"});
     std::vector<double> baseIpc, propIpc;
-    for (std::uint32_t n : bench::rfSizes()) {
+    for (std::size_t si = 0; si < bench::rfSizes().size(); ++si) {
         std::vector<double> b, p;
-        for (const auto &w : workloads::allWorkloads()) {
-            auto cb = harness::baselineConfig(n);
-            cb.maxInsts = bench::timingInsts;
-            auto cp = harness::reuseConfig(n);
-            cp.maxInsts = bench::timingInsts;
-            b.push_back(harness::runOn(w, cb).sim.ipc());
-            p.push_back(harness::runOn(w, cp).sim.ipc());
+        for (std::size_t wi = 0; wi < all.size(); ++wi) {
+            b.push_back(grid[wi][si].base.sim.ipc());
+            p.push_back(grid[wi][si].prop.sim.ipc());
         }
         baseIpc.push_back(harness::geomean(b));
         propIpc.push_back(harness::geomean(p));
-        t.row().cell(n).cell(baseIpc.back(), 3).cell(propIpc.back(), 3);
+        t.row()
+            .cell(bench::rfSizes()[si])
+            .cell(baseIpc.back(), 3)
+            .cell(propIpc.back(), 3);
     }
     t.print(std::cout, "Geomean IPC over all workloads");
 
@@ -60,5 +65,6 @@ main()
     std::printf("\nShape checks: both curves saturate with size; the "
                 "proposed curve sits on or above the baseline at every "
                 "sweep point below saturation.\n");
+    bench::sweepFooter();
     return 0;
 }

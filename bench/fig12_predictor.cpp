@@ -8,6 +8,9 @@
  * opportunity to a wrong not-single-use prediction and ~3.1% are
  * reused incorrectly (requiring repair); the large majority of
  * predictions are correct.
+ *
+ * All workloads run in one parallel sweep (proposed scheme, 64-reg
+ * equal-area point) before the table is printed.
  */
 
 #include "common.hh"
@@ -21,18 +24,28 @@ main()
                   "most predictions correct; ~2.28% lost opportunities "
                   "and ~3.1% repaired mispredictions in SPECfp");
 
+    const auto &all = workloads::allWorkloads();
+    std::vector<harness::SweepItem> items;
+    items.reserve(all.size());
+    for (const auto &w : all) {
+        auto cfg = harness::reuseConfig(64);
+        cfg.maxInsts = bench::timingInsts;
+        items.push_back(harness::sweepItem(w, cfg));
+    }
+    auto outs = bench::sweeper().outcomes(items);
+
     stats::TextTable t({"workload", "reuse-ok%", "reuse-wrong%",
                         "normal-ok%", "normal-wrong%", "repairs/1k"});
     for (const auto &suite : workloads::suiteNames()) {
         std::vector<double> ok;
-        for (const auto &w : workloads::suiteWorkloads(suite)) {
-            auto cfg = harness::reuseConfig(64);
-            cfg.maxInsts = bench::timingInsts;
-            auto out = harness::runOn(w, cfg);
+        for (std::size_t wi = 0; wi < all.size(); ++wi) {
+            if (all[wi].suite != suite)
+                continue;
+            const auto &out = outs[wi];
             auto f = out.fig12;
             double total = f.total() > 0 ? f.total() : 1;
             t.row()
-                .cell(w.name)
+                .cell(all[wi].name)
                 .cell(100.0 * f.reuseCorrect / total, 1)
                 .cell(100.0 * f.reuseWrong / total, 1)
                 .cell(100.0 * f.noReuseCorrect / total, 1)
@@ -55,5 +68,6 @@ main()
     std::printf("\nShape checks: correct classifications dominate; "
                 "repair micro-ops stay at a few per thousand committed "
                 "instructions (paper: mispredicted reuses ~3%%).\n");
+    bench::sweepFooter();
     return 0;
 }

@@ -10,7 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/threadpool.hh"
 #include "emu/emulator.hh"
+#include "harness/sweep.hh"
 #include "mem/memsystem.hh"
 #include "rename/baseline.hh"
 #include "rename/reuse.hh"
@@ -119,6 +121,64 @@ BM_UsageAnalysis(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 50'000);
 }
 BENCHMARK(BM_UsageAnalysis);
+
+void
+BM_ThreadPoolSubmitDrain(benchmark::State &state)
+{
+    // Overhead of the sweep engine's fan-out machinery: submit a batch
+    // of no-op tasks and drain it.  Guards the pool's bookkeeping cost
+    // against regressions (it sits under every paper artifact).
+    ThreadPool pool;
+    constexpr int batch = 256;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i)
+            pool.submit([] {});
+        pool.wait();
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain);
+
+void
+BM_ThreadPoolParallelFor(benchmark::State &state)
+{
+    ThreadPool pool;
+    constexpr std::size_t n = 256;
+    std::vector<std::uint64_t> out(n);
+    for (auto _ : state) {
+        pool.parallelFor(n, [&](std::size_t i) { out[i] = i * i; });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ThreadPoolParallelFor);
+
+void
+BM_SweepRunnerTinySweep(benchmark::State &state)
+{
+    // End-to-end sweep throughput on a tiny config grid; items/s here
+    // is simulation runs per second, the number the sweep footer
+    // reports on real artifacts.
+    harness::SweepRunner runner;
+    std::vector<harness::SweepItem> items;
+    const auto &w = workloads::workload("int_crc");
+    for (std::uint32_t n : {56u, 96u}) {
+        auto base = harness::baselineConfig(n);
+        base.maxInsts = 2'000;
+        auto prop = harness::reuseConfig(n);
+        prop.maxInsts = 2'000;
+        items.push_back(harness::sweepItem(w, base));
+        items.push_back(harness::sweepItem(w, prop));
+    }
+    for (auto _ : state) {
+        auto results = runner.run(items);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(items.size()));
+}
+BENCHMARK(BM_SweepRunnerTinySweep);
 
 } // namespace
 

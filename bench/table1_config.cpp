@@ -72,5 +72,10 @@ main()
     t.row().cell("dram").cell("tREFI (cyc @2GHz)")
         .cell(static_cast<std::uint64_t>(mp.dram.tRefi)).cell("15600");
     t.print(std::cout, "Simulated configuration vs paper Table I");
+    std::printf("\nHost sweep engine: %u execution lane(s) by default "
+                "(override with RRS_THREADS); runs fan out via the "
+                "work-stealing pool with bit-identical results at any "
+                "lane count.\n",
+                ThreadPool::defaultThreadCount());
     return 0;
 }

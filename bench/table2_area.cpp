@@ -3,6 +3,10 @@
  * Table II: area of the register files and the proposed scheme's added
  * structures (PRT, issue queue version bits, register type predictor),
  * from the calibrated CACTI-lite model.
+ *
+ * This table is pure closed-form area arithmetic — no simulation runs
+ * — so it is the one bench with nothing to fan out over the sweep
+ * engine.
  */
 
 #include "area/area.hh"

@@ -4,6 +4,9 @@
  * baseline size, the 4-bank organisation of the same total area.
  * Prints the paper's rows, this repository's tuned rows (bank shapes
  * from our Fig. 9 study), and the area-model verification of both.
+ *
+ * The per-size equal-area solves run through the parallel sizing loop
+ * (harness::solveEqualAreaTable).
  */
 
 #include "area/area.hh"
@@ -20,9 +23,13 @@ main()
                   "112 -> 75+8+8+8");
 
     area::AreaModel m;
+    auto solvedAll = harness::solveEqualAreaTable(m, bench::rfSizes(),
+                                                  64, false);
+
     stats::TextTable t({"baseline", "paper banks", "paper area%",
                         "tuned banks", "tuned area%", "solver bank0"});
-    for (std::uint32_t n : bench::rfSizes()) {
+    for (std::size_t i = 0; i < bench::rfSizes().size(); ++i) {
+        std::uint32_t n = bench::rfSizes()[i];
         double budget = m.regFileArea(n, 64);
         auto fmt = [](const rename::BankConfig &b) {
             return std::to_string(b[0]) + "+" + std::to_string(b[1]) +
@@ -30,8 +37,7 @@ main()
         };
         rename::BankConfig paper = harness::equalAreaBanks(n, true);
         rename::BankConfig tuned = harness::equalAreaBanks(n, false);
-        rename::BankConfig solved =
-            harness::solveEqualAreaBanks(m, n, 64, false);
+        const rename::BankConfig &solved = solvedAll[i];
         t.row()
             .cell(n)
             .cell(fmt(paper))

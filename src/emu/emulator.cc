@@ -1,7 +1,9 @@
 #include "emulator.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -50,6 +52,41 @@ SparseMemory::write(Addr addr, std::uint64_t value, unsigned size)
         touchPage(a)[a % pageBytes] =
             static_cast<std::uint8_t>(value >> (8 * b));
     }
+}
+
+std::uint64_t
+SparseMemory::digest() const
+{
+    std::vector<Addr> pageNums;
+    pageNums.reserve(pages.size());
+    for (const auto &[num, page] : pages)
+        pageNums.push_back(num);
+    std::sort(pageNums.begin(), pageNums.end());
+
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto fold = [&h](std::uint8_t byte) {
+        h ^= byte;
+        h *= 0x100000001b3ULL;
+    };
+    for (Addr num : pageNums) {
+        const Page &page = *pages.at(num);
+        // An all-zero page is indistinguishable from an unmapped one
+        // to read(); skip it so the digest matches that equivalence.
+        bool allZero = true;
+        for (std::uint8_t byte : page) {
+            if (byte != 0) {
+                allZero = false;
+                break;
+            }
+        }
+        if (allZero)
+            continue;
+        for (unsigned b = 0; b < 8; ++b)
+            fold(static_cast<std::uint8_t>(num >> (8 * b)));
+        for (std::uint8_t byte : page)
+            fold(byte);
+    }
+    return h;
 }
 
 Emulator::Emulator(const isa::Program &prog, std::string name,

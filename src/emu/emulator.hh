@@ -37,6 +37,16 @@ class SparseMemory
     /** Number of mapped pages (for tests / footprint reporting). */
     std::size_t mappedPages() const { return pages.size(); }
 
+    /**
+     * FNV-1a digest over all mapped pages in ascending address order.
+     * Page iteration is sorted first, so the digest is a pure function
+     * of memory *contents*, independent of the order pages were
+     * touched — two memories that compare byte-equal digest equal.
+     * Used by the lockstep oracle tests to compare a timing run's
+     * final memory against the functional emulator's.
+     */
+    std::uint64_t digest() const;
+
   private:
     using Page = std::array<std::uint8_t, pageBytes>;
 

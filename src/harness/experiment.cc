@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "core/o3core.hh"
 
 namespace rrs::harness {
@@ -139,6 +140,22 @@ solveEqualAreaBanks(const area::AreaModel &model,
                                             overhead, 0);
     banks[0] = n0;
     return banks;
+}
+
+std::vector<rename::BankConfig>
+solveEqualAreaTable(const area::AreaModel &model,
+                    const std::vector<std::uint32_t> &baselineSizes,
+                    std::uint32_t bits, bool chargeOverheads,
+                    unsigned threads)
+{
+    std::vector<rename::BankConfig> out(baselineSizes.size());
+    ThreadPool pool(threads);
+    // The model is read-only here; every task writes only its slot.
+    pool.parallelFor(baselineSizes.size(), [&](std::size_t i) {
+        out[i] = solveEqualAreaBanks(model, baselineSizes[i], bits,
+                                     chargeOverheads);
+    });
+    return out;
 }
 
 RunConfig

@@ -105,6 +105,18 @@ rename::BankConfig solveEqualAreaBanks(const area::AreaModel &model,
                                        bool chargeOverheads);
 
 /**
+ * The Table III sizing loop: solve the equal-area bank configuration
+ * for a whole column of baseline sizes at once, fanned out across the
+ * thread pool (each size's solve is independent).  Results come back
+ * in input order and are identical for every thread count.
+ * @param threads execution lanes; 0 picks RRS_THREADS / hardware.
+ */
+std::vector<rename::BankConfig> solveEqualAreaTable(
+    const area::AreaModel &model,
+    const std::vector<std::uint32_t> &baselineSizes, std::uint32_t bits,
+    bool chargeOverheads, unsigned threads = 0);
+
+/**
  * Build the standard RunConfig pair for a baseline size N: the
  * baseline renamer with N regs per class, and the proposed renamer
  * with the Table III equal-area bank configuration.

@@ -1,0 +1,138 @@
+#include "sweep.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace rrs::harness {
+
+std::uint64_t
+sweepSeed(std::uint64_t base, std::size_t index)
+{
+    // SplitMix64 finaliser over (base, index): decorrelated per-run
+    // streams that depend only on the submission index, never on the
+    // execution schedule.
+    std::uint64_t z =
+        base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : stats::Group("sweep"),
+      pool(threads),
+      totalRuns(this, "runs", "simulation runs completed"),
+      totalInsts(this, "insts", "instructions committed across runs"),
+      totalCycles(this, "cycles", "cycles simulated across runs"),
+      runWall(this, "run_wall_seconds", "per-run wall-clock seconds"),
+      runIpcPct(this, "run_ipc_pct", "per-run committed IPC (percent)")
+{
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepItem> &items)
+{
+    using Clock = std::chrono::steady_clock;
+
+    // Per-run stats containers, one slot per item: workers touch only
+    // their own slot, and the slots are merged after the join below.
+    struct RunStats
+    {
+        explicit RunStats()
+            : group("run"),
+              insts(&group, "insts", "committed instructions"),
+              cycles(&group, "cycles", "simulated cycles"),
+              wall(&group, "wall_seconds", "run wall-clock seconds"),
+              ipcPct(&group, "ipc_pct", "committed IPC (percent)")
+        {
+        }
+        stats::Group group;
+        stats::Scalar insts;
+        stats::Scalar cycles;
+        stats::Average wall;
+        stats::Distribution ipcPct;
+    };
+
+    std::vector<SweepResult> results(items.size());
+    std::vector<std::unique_ptr<RunStats>> perRun;
+    perRun.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        perRun.push_back(std::make_unique<RunStats>());
+
+    const auto sweepStart = Clock::now();
+    pool.parallelFor(items.size(), [&](std::size_t i) {
+        const SweepItem &item = items[i];
+        rrs_assert(item.workload != nullptr, "sweep item needs a workload");
+        RunConfig cfg = item.config;
+        cfg.core.seed = sweepSeed(cfg.core.seed, i);
+
+        const auto t0 = Clock::now();
+        results[i].outcome = runOn(*item.workload, cfg,
+                                   item.sampleSharing);
+        const std::chrono::duration<double> dt = Clock::now() - t0;
+        results[i].wallSeconds = dt.count();
+
+        RunStats &rs = *perRun[i];
+        rs.insts += static_cast<double>(
+            results[i].outcome.sim.committedInsts);
+        rs.cycles += static_cast<double>(results[i].outcome.sim.cycles);
+        rs.wall.sample(results[i].wallSeconds);
+        rs.ipcPct.sample(static_cast<std::uint64_t>(
+            100.0 * results[i].outcome.sim.ipc()));
+    });
+    const std::chrono::duration<double> sweepDt =
+        Clock::now() - sweepStart;
+
+    // Workers have joined (parallelFor returned): the merge path.
+    resetStats();
+    for (const auto &rs : perRun) {
+        ++totalRuns;
+        totalInsts.merge(rs->insts);
+        totalCycles.merge(rs->cycles);
+        runWall.merge(rs->wall);
+        runIpcPct.merge(rs->ipcPct);
+    }
+
+    lastSummary = SweepSummary{};
+    lastSummary.threads = pool.numThreads();
+    lastSummary.runs = items.size();
+    lastSummary.wallSeconds = sweepDt.count();
+    lastSummary.runSecondsTotal =
+        runWall.mean() * static_cast<double>(runWall.samples());
+    lastSummary.runSecondsMin = runWall.min();
+    lastSummary.runSecondsMax = runWall.max();
+    lastSummary.instsCommitted =
+        static_cast<std::uint64_t>(totalInsts.value());
+    lastSummary.cyclesSimulated =
+        static_cast<std::uint64_t>(totalCycles.value());
+    return results;
+}
+
+std::vector<Outcome>
+SweepRunner::outcomes(const std::vector<SweepItem> &items)
+{
+    std::vector<SweepResult> results = run(items);
+    std::vector<Outcome> out;
+    out.reserve(results.size());
+    for (auto &r : results)
+        out.push_back(std::move(r.outcome));
+    return out;
+}
+
+void
+SweepRunner::printSummary(std::ostream &os) const
+{
+    const SweepSummary &s = lastSummary;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "sweep: %zu runs in %.2f s on %u thread%s "
+                  "(%.1f runs/s, %.2f Minst/s, %.0f%% utilisation)\n",
+                  s.runs, s.wallSeconds, s.threads,
+                  s.threads == 1 ? "" : "s", s.runsPerSec(),
+                  s.instsPerSec() / 1e6, 100.0 * s.utilisation());
+    os << buf;
+}
+
+} // namespace rrs::harness

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The parallel sweep engine.
+ *
+ * Every paper artifact is a sweep over workloads x register-file sizes
+ * x {Baseline, Reuse}; the runs are completely independent, so they
+ * fan out across a work-stealing thread pool (common/threadpool.hh)
+ * and scale near-linearly with cores, like trace-driven simulator
+ * farms do.
+ *
+ * Determinism contract — results are bit-identical for every thread
+ * count, including 1:
+ *
+ *  - Each run builds all of its own model state (core, renamer,
+ *    memory, predictor, stats) inside the worker task; nothing is
+ *    shared between runs but the read-only workload programs (whose
+ *    cache is locked).
+ *  - Each run's RNG seed is derived from the *submission index* of its
+ *    config via sweepSeed(), never drawn from a shared stream, so the
+ *    schedule cannot leak into the results.
+ *  - Outcomes are written into a pre-sized slot per run and returned
+ *    in submission order; per-run stats are merged into the sweep
+ *    aggregate only after all workers have joined (the stats merge
+ *    path), so no floating-point reduction depends on arrival order.
+ *
+ * Only the wall-clock/throughput numbers in SweepSummary may vary
+ * between thread counts; everything in Outcome may not.
+ */
+
+#ifndef RRS_HARNESS_SWEEP_HH
+#define RRS_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.hh"
+#include "harness/experiment.hh"
+#include "stats/stats.hh"
+
+namespace rrs::harness {
+
+/** One sweep entry: a workload plus the configuration to run it under. */
+struct SweepItem
+{
+    const workloads::Workload *workload = nullptr;
+    RunConfig config;
+    bool sampleSharing = false;   //!< collect the Fig. 9 series
+};
+
+/** One entry's result: the run outcome plus its own wall clock. */
+struct SweepResult
+{
+    Outcome outcome;
+    double wallSeconds = 0;
+};
+
+/** Aggregate throughput numbers for a finished sweep. */
+struct SweepSummary
+{
+    unsigned threads = 0;          //!< execution lanes used
+    std::size_t runs = 0;
+    double wallSeconds = 0;        //!< whole-sweep wall clock
+    double runSecondsTotal = 0;    //!< sum of per-run wall clocks
+    double runSecondsMin = 0;
+    double runSecondsMax = 0;
+    std::uint64_t instsCommitted = 0;
+    std::uint64_t cyclesSimulated = 0;
+
+    double
+    runsPerSec() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(runs) / wallSeconds
+                   : 0.0;
+    }
+
+    double
+    instsPerSec() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(instsCommitted) / wallSeconds
+                   : 0.0;
+    }
+
+    /** Parallel efficiency proxy: busy run-time over wall x lanes. */
+    double
+    utilisation() const
+    {
+        return wallSeconds > 0 && threads > 0
+                   ? runSecondsTotal /
+                         (wallSeconds * static_cast<double>(threads))
+                   : 0.0;
+    }
+};
+
+/** Derive the RNG seed of sweep entry `index` from a base seed. */
+std::uint64_t sweepSeed(std::uint64_t base, std::size_t index);
+
+/**
+ * Fans RunConfigs out across a thread pool and returns Outcomes in
+ * submission order.  Reusable: each run() call produces a fresh
+ * summary.
+ */
+class SweepRunner : public stats::Group
+{
+  public:
+    /**
+     * @param threads execution lanes; 0 picks RRS_THREADS or the
+     *        hardware concurrency (ThreadPool::defaultThreadCount).
+     */
+    explicit SweepRunner(unsigned threads = 0);
+
+    /** Run every item; results come back in submission order. */
+    std::vector<SweepResult> run(const std::vector<SweepItem> &items);
+
+    /** Like run(), discarding the per-run wall clocks. */
+    std::vector<Outcome> outcomes(const std::vector<SweepItem> &items);
+
+    /** Throughput numbers of the most recent run(). */
+    const SweepSummary &summary() const { return lastSummary; }
+
+    unsigned numThreads() const { return pool.numThreads(); }
+
+    /**
+     * Print the standard one-line throughput report benches append
+     * after their tables, e.g.
+     * "sweep: 42 runs in 3.1 s on 4 threads (13.5 runs/s, 2.0 Minst/s,
+     *  96% utilisation)".
+     */
+    void printSummary(std::ostream &os) const;
+
+  private:
+    ThreadPool pool;
+    SweepSummary lastSummary;
+
+    // Sweep-lifetime aggregates, fed through the post-join stats merge
+    // path (see stats/stats.hh threading model).
+    stats::Scalar totalRuns;
+    stats::Scalar totalInsts;
+    stats::Scalar totalCycles;
+    stats::Average runWall;
+    stats::Distribution runIpcPct;
+};
+
+/** Convenience builder. */
+inline SweepItem
+sweepItem(const workloads::Workload &w, RunConfig config,
+          bool sampleSharing = false)
+{
+    return SweepItem{&w, std::move(config), sampleSharing};
+}
+
+} // namespace rrs::harness
+
+#endif // RRS_HARNESS_SWEEP_HH

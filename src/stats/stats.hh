@@ -7,6 +7,13 @@
  * Stats are plain members of the owning model object and register
  * themselves with the owner's Group; dumping a Group walks its stats in
  * registration order so reports are stable across runs.
+ *
+ * Threading model: individual stats are *not* synchronised.  Parallel
+ * sweeps give every run its own model objects (and therefore its own
+ * stats), then combine them through the merge() methods strictly after
+ * the worker threads have joined — merge-after-join is the thread-safe
+ * aggregation path, and it keeps per-run updates free of atomics on
+ * the simulator's hot paths.
  */
 
 #ifndef RRS_STATS_STATS_HH
@@ -59,6 +66,9 @@ class Scalar : public StatBase
 
     double value() const { return val; }
 
+    /** Fold another run's counter into this one (post-join only). */
+    void merge(const Scalar &other) { val += other.val; }
+
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override { val = 0; }
 
@@ -91,6 +101,23 @@ class Average : public StatBase
     std::uint64_t samples() const { return n; }
     double min() const { return n ? minV : 0.0; }
     double max() const { return n ? maxV : 0.0; }
+
+    /** Fold another run's samples into this one (post-join only). */
+    void
+    merge(const Average &other)
+    {
+        if (other.n == 0)
+            return;
+        if (n == 0) {
+            minV = other.minV;
+            maxV = other.maxV;
+        } else {
+            minV = other.minV < minV ? other.minV : minV;
+            maxV = other.maxV > maxV ? other.maxV : maxV;
+        }
+        sum += other.sum;
+        n += other.n;
+    }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override { sum = 0; n = 0; minV = 0; maxV = 0; }
@@ -142,6 +169,15 @@ class Distribution : public StatBase
     const std::map<std::uint64_t, std::uint64_t> &raw() const
     {
         return counts;
+    }
+
+    /** Fold another run's histogram into this one (post-join only). */
+    void
+    merge(const Distribution &other)
+    {
+        for (const auto &[key, count] : other.counts)
+            counts[key] += count;
+        total += other.total;
     }
 
     void dump(std::ostream &os, const std::string &prefix) const override;

@@ -1,6 +1,7 @@
 #include "workloads.hh"
 
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "isa/assembler.hh"
@@ -91,7 +92,13 @@ workload(const std::string &name)
 const isa::Program &
 program(const Workload &w)
 {
+    // Sweep workers assemble workloads concurrently; the cache is the
+    // only cross-run shared state, so it is locked.  std::map keeps
+    // element references stable across later insertions, making the
+    // returned reference safe to use outside the lock.
+    static std::mutex cacheMutex;
     static std::map<std::string, isa::Program> cache;
+    std::lock_guard<std::mutex> lock(cacheMutex);
     auto it = cache.find(w.name);
     if (it == cache.end())
         it = cache.emplace(w.name, isa::assemble(w.source)).first;

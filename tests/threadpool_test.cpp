@@ -1,0 +1,170 @@
+// Unit tests for the work-stealing thread pool: slot-ordered results,
+// exception propagation out of wait(), nested submission, and a no-op
+// stress run.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/threadpool.hh"
+
+namespace {
+
+using rrs::ThreadPool;
+
+TEST(ThreadPoolConfig, DefaultThreadCountHonoursEnv)
+{
+    ::setenv("RRS_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    ::setenv("RRS_THREADS", "0", 1);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    ::unsetenv("RRS_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolConfig, SingleLaneSpawnsNoWorkers)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numWorkers(), 0u);
+    EXPECT_EQ(pool.numThreads(), 1u);
+}
+
+TEST(ThreadPoolConfig, FourLanesSpawnThreeWorkers)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numWorkers(), 3u);
+    EXPECT_EQ(pool.numThreads(), 4u);
+}
+
+// Every task writes only its own slot, so the output must come back in
+// submission order regardless of which worker ran which task.
+TEST(ThreadPoolRun, SlotOrderedResults)
+{
+    for (unsigned threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        constexpr std::size_t n = 200;
+        std::vector<std::size_t> out(n, 0);
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([&out, i] { out[i] = i * i; });
+        pool.wait();
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(out[i], i * i) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPoolRun, CallerExecutesWhenNoWorkers)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&count] { ++count; });
+    // No workers exist, so these can only run inside wait().
+    pool.wait();
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolRun, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 500;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolErrors, ExceptionPropagatesFromWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&ran, i] {
+            if (i == 4)
+                throw std::runtime_error("config 4 asserted");
+            ++ran;
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure must not wedge or cancel the rest of the sweep.
+    EXPECT_EQ(ran.load(), 9);
+    // The error was consumed; the pool is reusable.
+    pool.submit([&ran] { ++ran; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolErrors, ParallelForRethrowsAndCompletes)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&ran](std::size_t i) {
+                                      if (i == 63)
+                                          throw std::logic_error("boom");
+                                      ++ran;
+                                  }),
+                 std::logic_error);
+    EXPECT_EQ(ran.load(), 63);
+}
+
+// A task may fan out further tasks (the sweep does this when a config
+// expands into per-workload runs).
+TEST(ThreadPoolNesting, TasksSubmitTasks)
+{
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        std::atomic<int> leaves{0};
+        for (int outer = 0; outer < 8; ++outer) {
+            pool.submit([&pool, &leaves] {
+                for (int inner = 0; inner < 8; ++inner)
+                    pool.submit([&leaves] { ++leaves; });
+            });
+        }
+        pool.wait();
+        EXPECT_EQ(leaves.load(), 64) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPoolNesting, NestedParallelFor)
+{
+    ThreadPool pool(4);
+    std::vector<std::array<int, 8>> grid(8);
+    pool.parallelFor(grid.size(), [&](std::size_t row) {
+        pool.parallelFor(8, [&grid, row](std::size_t col) {
+            grid[row][col] = static_cast<int>(row * 8 + col);
+        });
+    });
+    int expected = 0;
+    for (const auto &row : grid)
+        for (int v : row)
+            EXPECT_EQ(v, expected++);
+}
+
+TEST(ThreadPoolStress, TenThousandNoops)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> count{0};
+    constexpr std::size_t n = 10'000;
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait();
+    EXPECT_EQ(count.load(), n);
+}
+
+// Destroying a pool with unfinished work must drain it, not drop it.
+TEST(ThreadPoolShutdown, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&ran] { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+} // namespace
