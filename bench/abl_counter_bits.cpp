@@ -14,8 +14,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Ablation: version counter width (1/2/3 bits)",
                   "paper section IV-A: a 2-bit counter balances sharing "
                   "degree against PRT and issue-queue cost");
@@ -43,6 +44,6 @@ main()
     std::printf("\nShape checks: 2 bits captures nearly all of the "
                 "benefit; 3 bits adds little speedup while growing the "
                 "wakeup tags.\n");
-    bench::sweepFooter();
+    bench::finish("abl_counter_bits");
     return 0;
 }

@@ -13,8 +13,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Ablation: predictor size and reuse policy",
                   "paper uses a 512-entry, 2-bit predictor (1 Kbit); "
                   "speculative reuse needs the predictor");
@@ -58,6 +59,6 @@ main()
                 "the raw capacity deficit of the equal-area file; "
                 "speculative reuse recovers more than redefining-only "
                 "reuse.\n");
-    bench::sweepFooter();
+    bench::finish("abl_predictor_size");
     return 0;
 }

@@ -55,8 +55,9 @@ runSynthetic(double singleUse, bool reuseScheme)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Ablation: single-use fraction sweep (synthetic)",
                   "speedup of the proposed scheme grows with the "
                   "injected single-use fraction");
@@ -86,5 +87,6 @@ main()
                 "fraction (%.3f at 0.8); at 0.0 the proposed scheme "
                 "pays its capacity deficit with little reuse to "
                 "recover it.\n", last);
+    bench::finish("abl_synthetic");
     return 0;
 }

@@ -11,15 +11,26 @@
  * lane count; the printed tables are bit-identical for every value of
  * it, and each bench appends a one-line throughput footer
  * (runs/s, Minst/s) so sweep speed is measurable.
+ *
+ * Machine-readable export: every bench calls init(argc, argv) first
+ * and finish(name) last.  `--stats-json <path>` (or the RRS_STATS_JSON
+ * environment variable) makes finish() dump the sweep's stats group as
+ * JSON to that path, so scripts can consume a bench without scraping
+ * its tables.
  */
 
 #ifndef RRS_BENCH_COMMON_HH
 #define RRS_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "common/logging.hh"
 
 #include "common/threadpool.hh"
 #include "harness/experiment.hh"
@@ -58,6 +69,61 @@ inline void
 sweepFooter()
 {
     sweeper().printSummary(std::cout);
+}
+
+/** Where finish() writes the JSON stats export ("" = disabled). */
+inline std::string &
+statsJsonPath()
+{
+    static std::string path;
+    return path;
+}
+
+/**
+ * Standard bench option handling; call first in every main().  Parses
+ * `--stats-json <path>` (the RRS_STATS_JSON environment variable is
+ * the default) and returns the arguments it did not consume, in order,
+ * for the bench's own flags (e.g. fig10's --quick).
+ */
+inline std::vector<std::string>
+init(int argc, char **argv)
+{
+    if (const char *env = std::getenv("RRS_STATS_JSON"))
+        statsJsonPath() = env;
+    std::vector<std::string> rest;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stats-json") == 0) {
+            if (i + 1 >= argc)
+                rrs_fatal("--stats-json needs a path argument");
+            statsJsonPath() = argv[++i];
+        } else {
+            rest.emplace_back(argv[i]);
+        }
+    }
+    return rest;
+}
+
+/**
+ * Standard bench epilogue; call last in every main().  Prints the
+ * sweep throughput footer (when the bench ran any sweep) and, when
+ * configured via init(), writes the sweep stats group as
+ * `{"bench": <name>, "sweep": {...}}` JSON.
+ */
+inline void
+finish(const std::string &name)
+{
+    if (sweeper().summary().runs > 0)
+        sweepFooter();
+    const std::string &path = statsJsonPath();
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (!os)
+        rrs_fatal("cannot open stats JSON file '%s'", path.c_str());
+    os << "{\n  \"bench\": \"" << name << "\",\n  \"sweep\": ";
+    sweeper().dumpJson(os, 2);
+    os << "\n}\n";
+    std::printf("stats json: %s\n", path.c_str());
 }
 
 /** Print a bench banner. */

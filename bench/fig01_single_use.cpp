@@ -17,8 +17,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Figure 1: single-consumer instruction fractions",
                   "SPECfp > 50%, SPECint > 30% of instructions are sole "
                   "consumers of a value");
@@ -60,5 +61,6 @@ main()
     std::printf("\nPaper: SPECfp mean > 50%%, SPECint mean > 30%% "
                 "(our kernels stand in for SPEC; the fp > int ordering "
                 "and magnitudes are the reproduced shape).\n");
+    bench::finish("fig01_single_use");
     return 0;
 }

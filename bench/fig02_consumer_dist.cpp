@@ -14,8 +14,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Figure 2: consumers-per-value distribution",
                   "single-consumer values dominate (most values are "
                   "consumed just once in SPEC)");
@@ -50,5 +51,6 @@ main()
             "Percent of consumed values read exactly k times");
     std::printf("\nPaper: the k=1 bar is the tallest across all "
                 "suites.\n");
+    bench::finish("fig02_consumer_dist");
     return 0;
 }

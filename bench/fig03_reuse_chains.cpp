@@ -18,8 +18,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Figure 3: reusable instructions vs reuse cap",
                   "SPECfp depth decomposition 32.3/12.3/5.9/4.1%; "
                   "SPECint 22/5.2/2.3/1.2%; caps beyond 3 add little");
@@ -62,5 +63,6 @@ main()
     std::printf("\nShape checks: cap columns are monotone; the d>3 "
                 "column is small (long chains are rare), matching the "
                 "paper's motivation for a 2-bit counter.\n");
+    bench::finish("fig03_reuse_chains");
     return 0;
 }

@@ -32,8 +32,9 @@ percentile(std::vector<std::uint32_t> values, double p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Figure 9: shadow-cell bank sizing",
                   "registers with k shadow cells needed to cover X% of "
                   "SPECfp execution time; small counts suffice");
@@ -78,6 +79,6 @@ main()
                 "chains are rare) and the 90-95%% coverage points "
                 "motivate small shadow banks, as in the paper's "
                 "Table III and this repo's tuned rows.\n");
-    bench::sweepFooter();
+    bench::finish("fig09_bank_sizing");
     return 0;
 }

@@ -20,7 +20,8 @@ using namespace rrs;
 int
 main(int argc, char **argv)
 {
-    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    const auto rest = bench::init(argc, argv);
+    const bool quick = !rest.empty() && rest[0] == "--quick";
     bench::banner("Figure 10: equal-area speedup vs register file size",
                   "SPECfp avg +12.2%..+0.8% (48..112); SPECint avg "
                   "+47%..+0.4%; gains shrink as the file grows");
@@ -60,6 +61,6 @@ main(int argc, char **argv)
     std::printf("Shape checks: geomean speedups are highest at the "
                 "small end of the sweep and decay towards 1.0 at 96+ "
                 "registers, as in the paper's Figure 10.\n");
-    bench::sweepFooter();
+    bench::finish("fig10_speedup");
     return 0;
 }

@@ -19,8 +19,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Figure 11: IPC vs physical register count",
                   "proposed reaches baseline IPC with ~1 size class "
                   "fewer registers (10.5% register-file reduction)");
@@ -65,6 +66,6 @@ main()
     std::printf("\nShape checks: both curves saturate with size; the "
                 "proposed curve sits on or above the baseline at every "
                 "sweep point below saturation.\n");
-    bench::sweepFooter();
+    bench::finish("fig11_ipc");
     return 0;
 }

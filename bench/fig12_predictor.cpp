@@ -18,8 +18,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Figure 12: register type predictor accuracy",
                   "most predictions correct; ~2.28% lost opportunities "
                   "and ~3.1% repaired mispredictions in SPECfp");
@@ -68,6 +69,6 @@ main()
     std::printf("\nShape checks: correct classifications dominate; "
                 "repair micro-ops stay at a few per thousand committed "
                 "instructions (paper: mispredicted reuses ~3%%).\n");
-    bench::sweepFooter();
+    bench::finish("fig12_predictor");
     return 0;
 }

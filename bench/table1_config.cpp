@@ -13,8 +13,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Table I: system configuration",
                   "ARMv8-like, 2 GHz, 128-entry ROB, 40-entry IQ, "
                   "3-wide, 32 KB L1D, 48 KB L1I, 1 MB L2, stride "
@@ -77,5 +78,6 @@ main()
                 "work-stealing pool with bit-identical results at any "
                 "lane count.\n",
                 ThreadPool::defaultThreadCount());
+    bench::finish("table1_config");
     return 0;
 }

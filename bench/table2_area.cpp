@@ -15,8 +15,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Table II: structure areas (mm^2)",
                   "int RF 0.2834, fp RF 0.4988, PRT 5.08e-4, IQ "
                   "overhead 1.48e-3, predictor 3.1e-3, total overhead "
@@ -48,5 +49,6 @@ main()
     std::printf("\nShape check: total overhead is %.2f%% of the two "
                 "register files (paper: well under 1%%).\n",
                 100.0 * total / (int_rf + fp_rf));
+    bench::finish("table2_area");
     return 0;
 }

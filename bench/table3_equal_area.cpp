@@ -15,8 +15,9 @@
 using namespace rrs;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Table III: equal-area register file configurations",
                   "48 -> 28+4+4+4, 56 -> 28+6+6+6, 64 -> 36+6+6+6, "
                   "72 -> 36+8+8+8, 80 -> 42+8+8+8, 96 -> 58+8+8+8, "
@@ -52,5 +53,6 @@ main()
     std::printf("\nShape checks: every configuration fits within 100%% "
                 "of its baseline's area; the solver's bank0 matches the "
                 "stored tuned rows.\n");
+    bench::finish("table3_equal_area");
     return 0;
 }

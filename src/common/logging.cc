@@ -2,9 +2,44 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace rrs {
+
+namespace {
+
+/**
+ * One mutex-guarded sink for every log line.  warn()/inform() are
+ * called from sweep worker threads (e.g. a model warning fires in
+ * several parallel runs at once); writing each message with a single
+ * locked fputs keeps lines whole instead of interleaving mid-line.
+ * panic()/fatal() also serialise here so their last words are not
+ * torn by concurrent warnings.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+logLine(std::FILE *to, const char *prefix, const std::string &msg,
+        const std::string &suffix = "")
+{
+    std::string line;
+    line.reserve(msg.size() + suffix.size() + 16);
+    line += prefix;
+    line += msg;
+    line += suffix;
+    line += "\n";
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fputs(line.c_str(), to);
+    std::fflush(to);
+}
+
+} // namespace
 
 std::string
 vformatString(const char *fmt, va_list args)
@@ -37,7 +72,8 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformatString(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    logLine(stderr, "panic: ", msg,
+            formatString(" (%s:%d)", file, line));
     std::abort();
 }
 
@@ -48,7 +84,8 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformatString(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    logLine(stderr, "fatal: ", msg,
+            formatString(" (%s:%d)", file, line));
     std::exit(1);
 }
 
@@ -59,7 +96,7 @@ warnImpl(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformatString(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logLine(stderr, "warn: ", msg);
 }
 
 void
@@ -69,7 +106,7 @@ informImpl(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformatString(fmt, args);
     va_end(args);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    logLine(stdout, "info: ", msg);
 }
 
 } // namespace rrs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/pipetrace.hh"
 
 namespace rrs::core {
 
@@ -41,7 +42,8 @@ O3Core::O3Core(const CoreParams &params, rename::Renamer &renamer,
       wrongPathFetched(this, "wrongPathFetched",
                        "synthetic wrong-path instructions fetched"),
       robOccupancy(this, "robOccupancy", "ROB occupancy per cycle"),
-      iqOccupancy(this, "iqOccupancy", "IQ occupancy per cycle")
+      iqOccupancy(this, "iqOccupancy", "IQ occupancy per cycle"),
+      cycleCauses(this)
 {
     if (params.interruptInterval > 0)
         nextInterrupt = params.interruptInterval;
@@ -213,6 +215,8 @@ O3Core::squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
         if (victim.di.isStore())
             --storesInFlight;
         ++squashedInsts;
+        if (tracer)
+            tracer->squash(victim.fetchSeq);
         rob.pop_back();
     }
     // Remove squashed entries from the IQ.
@@ -227,6 +231,10 @@ O3Core::squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
     if (recoveries)
         *recoveries = rec;
 
+    if (tracer) {
+        for (const InFlight &i : fetchQueue)
+            tracer->squash(i.fetchSeq);
+    }
     fetchQueue.clear();
     lastFetchLine = invalidAddr;
 }
@@ -310,6 +318,8 @@ O3Core::flushAll(Cycles extraPenalty)
                 --loadsInFlight;
             if (rob.front().di.isStore())
                 --storesInFlight;
+            if (tracer)
+                tracer->squash(rob.front().fetchSeq);
             rob.clear();
             iq.clear();
             renamer.squashTo(token, [&](const rename::PhysRegTag &tag) {
@@ -317,6 +327,10 @@ O3Core::flushAll(Cycles extraPenalty)
             });
         }
     } else {
+        if (tracer) {
+            for (const InFlight &i : fetchQueue)
+                tracer->squash(i.fetchSeq);
+        }
         fetchQueue.clear();
     }
 
@@ -343,6 +357,7 @@ O3Core::flushAll(Cycles extraPenalty)
 void
 O3Core::commitStage()
 {
+    committedThisCycle = 0;
     if (params.interruptInterval > 0 && now >= nextInterrupt) {
         nextInterrupt += params.interruptInterval;
         if (!rob.empty() || !fetchQueue.empty()) {
@@ -382,10 +397,13 @@ O3Core::commitStage()
             --storesInFlight;
 
         ++committed;
+        ++committedThisCycle;
         simResult.committedInsts += 1;
         simResult.committedOps += 1 + head.rr.repairUops;
         lastCommitTick = now;
         ++n;
+        if (tracer)
+            tracer->retire(head.fetchSeq, now);
         rob.pop_front();
 
         if (faulted) {
@@ -413,6 +431,8 @@ O3Core::writebackStage()
             continue;
         inst.completed = true;
         ++n;
+        if (tracer)
+            tracer->complete(inst.fetchSeq, now);
         if (inst.di.isStore())
             inst.storeExecuted = true;
         if (inst.rr.hasDest)
@@ -447,6 +467,8 @@ O3Core::issueStage()
         if (inst->issued) {
             inst->inIq = false;
             --budget;
+            if (tracer)
+                tracer->issue(seq, now);
         } else {
             remaining.push_back(seq);
         }
@@ -457,25 +479,30 @@ O3Core::issueStage()
 void
 O3Core::renameStage()
 {
+    renameBlock = RenameBlock::None;
     std::uint32_t width = params.renameWidth;
     while (width > 0 && !fetchQueue.empty()) {
         InFlight &cand = fetchQueue.front();
         if (rob.size() >= params.robEntries) {
             ++renameStallRob;
+            renameBlock = RenameBlock::Rob;
             break;
         }
         bool needs_iq = cand.di.si.cls() != InstClass::Nop;
         if (needs_iq && iq.size() >= params.iqEntries) {
             ++renameStallIq;
+            renameBlock = RenameBlock::Iq;
             break;
         }
         if (cand.di.isLoad() && loadsInFlight >= params.loadQueueEntries) {
             ++renameStallLsq;
+            renameBlock = RenameBlock::Lsq;
             break;
         }
         if (cand.di.isStore() &&
             storesInFlight >= params.storeQueueEntries) {
             ++renameStallLsq;
+            renameBlock = RenameBlock::Lsq;
             break;
         }
 
@@ -486,6 +513,7 @@ O3Core::renameStage()
             renamer.rename(cand.di, producer_executed);
         if (!rr.success) {
             ++renameStallNoReg;
+            renameBlock = RenameBlock::NoReg;
             break;
         }
 
@@ -514,6 +542,10 @@ O3Core::renameStage()
         if (inst.di.isStore())
             ++storesInFlight;
 
+        if (tracer) {
+            tracer->rename(inst.fetchSeq, now);
+            tracer->dispatch(inst.fetchSeq, now);
+        }
         if (needs_iq) {
             inst.inIq = true;
             iq.push_back(inst.fetchSeq);
@@ -521,6 +553,10 @@ O3Core::renameStage()
             inst.issued = true;
             inst.completed = true;
             inst.readyAt = now;
+            if (tracer) {
+                tracer->issue(inst.fetchSeq, now);
+                tracer->complete(inst.fetchSeq, now);
+            }
         }
         rob.push_back(std::move(inst));
         --width;
@@ -630,11 +666,41 @@ O3Core::fetchStage()
         if (!inst.wrongPath)
             wrongPath.observe(di);
 
+        if (tracer)
+            tracer->fetch(inst.fetchSeq, di, now);
         fetchQueue.push_back(std::move(inst));
         ++fetched;
         if (group_ends)
             break;
     }
+}
+
+void
+O3Core::accountCycle()
+{
+    using obs::CycleCause;
+    CycleCause cause;
+    if (committedThisCycle > 0) {
+        cause = CycleCause::Commit;
+    } else if (streamDone && !pendingInst && replayBuffer.empty() &&
+               !onWrongPath && fetchQueue.empty()) {
+        // Nothing left to fetch, ever: the backend is draining the
+        // tail of the run.
+        cause = CycleCause::Drain;
+    } else if (renameBlock == RenameBlock::NoReg) {
+        cause = CycleCause::RenameNoReg;
+    } else if (renameBlock == RenameBlock::Rob) {
+        cause = CycleCause::RenameRob;
+    } else if (renameBlock == RenameBlock::Iq) {
+        cause = CycleCause::RenameIq;
+    } else if (renameBlock == RenameBlock::Lsq) {
+        cause = CycleCause::RenameLsq;
+    } else if (rob.empty()) {
+        cause = CycleCause::Frontend;
+    } else {
+        cause = CycleCause::BackendExec;
+    }
+    cycleCauses.attribute(cause);
 }
 
 SimResult
@@ -659,6 +725,7 @@ O3Core::run()
             now % samplerInterval == 0) {
             sampler(now);
         }
+        accountCycle();
 
         ++now;
         ++cycles;
@@ -676,6 +743,11 @@ O3Core::run()
                       rob.front().di.si.toString().c_str());
         }
     }
+    // Every simulated cycle must have been attributed to exactly one
+    // cause; a leak here means a new stall path bypassed accounting.
+    cycleCauses.verify(static_cast<std::uint64_t>(cycles.value()));
+    if (tracer)
+        tracer->finishRun();
     return simResult;
 }
 

@@ -32,10 +32,15 @@
 #include "common/random.hh"
 #include "core/params.hh"
 #include "mem/memsystem.hh"
+#include "obs/stallcause.hh"
 #include "rename/renamer.hh"
 #include "stats/stats.hh"
 #include "trace/dyninst.hh"
 #include "trace/wrongpath.hh"
+
+namespace rrs::obs {
+class PipeTracer;
+}
 
 namespace rrs::core {
 
@@ -68,8 +73,36 @@ class O3Core : public stats::Group
         samplerInterval = interval;
     }
 
+    /**
+     * Attach a pipeline event tracer (obs/pipetrace.hh).  The core
+     * keeps only this cached pointer; with no tracer attached every
+     * hook site is a single never-taken branch, so the disabled path
+     * stays off the profile.  Call before run().
+     */
+    void setTracer(obs::PipeTracer *t) { tracer = t; }
+
     /** Committed-IPC of the finished run. */
     const SimResult &result() const { return simResult; }
+
+    /** Per-cause cycle accounting of the finished run (obs layer). */
+    obs::StallBreakdown stallBreakdown() const
+    {
+        return cycleCauses.breakdown();
+    }
+
+    // --- structural occupancies, for the interval sampler hook ---
+    std::uint32_t robSize() const
+    {
+        return static_cast<std::uint32_t>(rob.size());
+    }
+    std::uint32_t iqSize() const
+    {
+        return static_cast<std::uint32_t>(iq.size());
+    }
+    std::uint32_t lsqSize() const
+    {
+        return loadsInFlight + storesInFlight;
+    }
 
     /** Aggregate counters for reports. */
     double mispredictCount() const { return branchMispredicts.value(); }
@@ -110,6 +143,7 @@ class O3Core : public stats::Group
     void fetchStage();
 
     // --- helpers ---
+    void accountCycle();
     bool srcsReady(const InFlight &inst) const;
     bool loadMayIssue(const InFlight &inst, Tick *forwardReady) const;
     void scheduleCompletion(InFlight &inst);
@@ -165,6 +199,13 @@ class O3Core : public stats::Group
     std::function<void(Tick)> sampler;
     Cycles samplerInterval = 0;
 
+    // Observability: cached tracer pointer (null = tracing disabled)
+    // and the per-cycle attribution state consumed by accountCycle().
+    obs::PipeTracer *tracer = nullptr;
+    std::uint32_t committedThisCycle = 0;
+    enum class RenameBlock : std::uint8_t { None, NoReg, Rob, Iq, Lsq };
+    RenameBlock renameBlock = RenameBlock::None;
+
     SimResult simResult;
 
     // Statistics.
@@ -184,6 +225,7 @@ class O3Core : public stats::Group
     stats::Scalar wrongPathFetched;
     stats::Average robOccupancy;
     stats::Average iqOccupancy;
+    obs::CycleAccounting cycleCauses;
 };
 
 } // namespace rrs::core

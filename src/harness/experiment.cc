@@ -5,6 +5,8 @@
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "core/o3core.hh"
+#include "obs/pipetrace.hh"
+#include "obs/sampler.hh"
 
 namespace rrs::harness {
 
@@ -29,24 +31,55 @@ runOn(const workloads::Workload &w, const RunConfig &config,
 
     core::O3Core core(config.core, *renamer, mem, bp, *stream);
 
+    std::unique_ptr<obs::PipeTracer> tracer;
+    if (!config.obs.pipeTracePath.empty()) {
+        tracer = std::make_unique<obs::PipeTracer>(config.obs.pipeTracePath);
+        core.setTracer(tracer.get());
+    }
+
     Outcome out;
-    if (sampleSharing && reuse) {
+    obs::OccupancySampler occupancy;
+    const bool sampleOccupancy = config.obs.sampleInterval > 0;
+    if ((sampleSharing && reuse) || sampleOccupancy) {
+        // One sampler hook serves both consumers: the Fig. 9 sharing
+        // series (legacy) and the obs occupancy time series.  The
+        // interval is the obs one when set, the Fig. 9 default (128)
+        // otherwise.
+        Cycles interval = sampleOccupancy ? config.obs.sampleInterval
+                                          : Cycles{128};
+        rename::Renamer *ren = renamer.get();
         core.setSampler(
-            [&](Tick) {
-                out.sharedAtLeast1.push_back(
-                    reuse->sharedAtLeast(RegClass::Int, 1) +
-                    reuse->sharedAtLeast(RegClass::Float, 1));
-                out.sharedAtLeast2.push_back(
-                    reuse->sharedAtLeast(RegClass::Int, 2) +
-                    reuse->sharedAtLeast(RegClass::Float, 2));
-                out.sharedAtLeast3.push_back(
-                    reuse->sharedAtLeast(RegClass::Int, 3) +
-                    reuse->sharedAtLeast(RegClass::Float, 3));
+            [&, ren](Tick tick) {
+                if (sampleSharing && reuse) {
+                    out.sharedAtLeast1.push_back(
+                        reuse->sharedAtLeast(RegClass::Int, 1) +
+                        reuse->sharedAtLeast(RegClass::Float, 1));
+                    out.sharedAtLeast2.push_back(
+                        reuse->sharedAtLeast(RegClass::Int, 2) +
+                        reuse->sharedAtLeast(RegClass::Float, 2));
+                    out.sharedAtLeast3.push_back(
+                        reuse->sharedAtLeast(RegClass::Int, 3) +
+                        reuse->sharedAtLeast(RegClass::Float, 3));
+                }
+                if (sampleOccupancy) {
+                    obs::OccupancyPoint p;
+                    p.freeInt = ren->freeRegs(RegClass::Int);
+                    p.freeFp = ren->freeRegs(RegClass::Float);
+                    p.shared = ren->sharedRegs(RegClass::Int) +
+                               ren->sharedRegs(RegClass::Float);
+                    p.rob = core.robSize();
+                    p.iq = core.iqSize();
+                    p.lsq = core.lsqSize();
+                    occupancy.record(tick, p);
+                }
             },
-            128);
+            interval);
     }
 
     out.sim = core.run();
+    out.stalls = core.stallBreakdown();
+    if (sampleOccupancy && !config.obs.timeseriesCsvPath.empty())
+        occupancy.writeCsvFile(config.obs.timeseriesCsvPath);
     out.condAccuracy = bp.condAccuracy();
     out.mispredicts = core.mispredictCount();
     out.exceptions = core.exceptionCount();

@@ -18,11 +18,33 @@
 #include "bpred/bpred.hh"
 #include "core/params.hh"
 #include "mem/memsystem.hh"
+#include "obs/stallcause.hh"
 #include "rename/baseline.hh"
 #include "rename/reuse.hh"
 #include "workloads/workloads.hh"
 
 namespace rrs::harness {
+
+/**
+ * Per-run observability options (obs/ module).  All default off so the
+ * hot sweep path pays nothing but a null-pointer branch per hook.
+ */
+struct ObsOptions
+{
+    /**
+     * Non-empty: write an O3PipeView pipeline trace (Konata-loadable)
+     * of the run to this path.  In a sweep this acts as a prefix: the
+     * runner appends "_run<index>.trace" so parallel runs never share
+     * a file (see SweepRunner::setTracePrefix / RRS_PIPETRACE).
+     */
+    std::string pipeTracePath;
+
+    /** >0: sample occupancies every this many cycles. */
+    Cycles sampleInterval = 0;
+
+    /** Non-empty: write the sampled occupancy time series as CSV. */
+    std::string timeseriesCsvPath;
+};
 
 /** Which renamer a run uses. */
 enum class Scheme {
@@ -39,6 +61,7 @@ struct RunConfig
     core::CoreParams core;
     mem::MemSystemParams mem;
     bpred::BPredParams bpred;
+    ObsOptions obs;                      //!< tracing / sampling, off by default
     std::uint64_t maxInsts = 0;          //!< 0: workload default
 };
 
@@ -56,6 +79,13 @@ struct Outcome
     double repairs = 0;          //!< reuse scheme
     double renameStalls = 0;
     rename::ReuseRenamer::Fig12Counts fig12;   //!< reuse scheme
+
+    /**
+     * Full-cycle stall attribution: every cycle of the run charged to
+     * exactly one cause (stalls.sum() == sim.cycles, asserted by the
+     * core at end of run).
+     */
+    obs::StallBreakdown stalls;
 
     /** Time series of shared-register occupancy (Fig. 9 sampling). */
     std::vector<std::uint32_t> sharedAtLeast1;

@@ -1,6 +1,7 @@
 #include "sweep.hh"
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 
 #include "common/logging.hh"
@@ -29,6 +30,8 @@ SweepRunner::SweepRunner(unsigned threads)
       runWall(this, "run_wall_seconds", "per-run wall-clock seconds"),
       runIpcPct(this, "run_ipc_pct", "per-run committed IPC (percent)")
 {
+    if (const char *env = std::getenv("RRS_PIPETRACE"))
+        tracePrefix = env;
 }
 
 std::vector<SweepResult>
@@ -67,6 +70,16 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         rrs_assert(item.workload != nullptr, "sweep item needs a workload");
         RunConfig cfg = item.config;
         cfg.core.seed = sweepSeed(cfg.core.seed, i);
+
+        // Per-run trace files, named by submission index so the set of
+        // files depends only on the sweep, never on the schedule.
+        const std::string &prefix = cfg.obs.pipeTracePath.empty()
+                                        ? tracePrefix
+                                        : cfg.obs.pipeTracePath;
+        if (!prefix.empty()) {
+            cfg.obs.pipeTracePath =
+                prefix + "_run" + std::to_string(i) + ".trace";
+        }
 
         const auto t0 = Clock::now();
         results[i].outcome = runOn(*item.workload, cfg,

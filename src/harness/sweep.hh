@@ -115,6 +115,23 @@ class SweepRunner : public stats::Group
     /** Run every item; results come back in submission order. */
     std::vector<SweepResult> run(const std::vector<SweepItem> &items);
 
+    /**
+     * Enable pipeline tracing for every run of subsequent sweeps: run
+     * `i` writes an O3PipeView trace to "<prefix>_run<i>.trace", so
+     * parallel lanes never share a file and the trace set is stable
+     * across thread counts (the name depends only on the submission
+     * index).  An item whose config already names a trace path keeps
+     * it as its own prefix.  Empty string disables.
+     *
+     * The constructor seeds this from the RRS_PIPETRACE environment
+     * variable, so any bench can be traced without a code change.
+     */
+    void setTracePrefix(std::string prefix)
+    {
+        tracePrefix = std::move(prefix);
+    }
+    const std::string &getTracePrefix() const { return tracePrefix; }
+
     /** Like run(), discarding the per-run wall clocks. */
     std::vector<Outcome> outcomes(const std::vector<SweepItem> &items);
 
@@ -134,6 +151,7 @@ class SweepRunner : public stats::Group
   private:
     ThreadPool pool;
     SweepSummary lastSummary;
+    std::string tracePrefix;
 
     // Sweep-lifetime aggregates, fed through the post-join stats merge
     // path (see stats/stats.hh threading model).

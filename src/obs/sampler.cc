@@ -1,0 +1,56 @@
+#include "sampler.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace rrs::obs {
+
+OccupancySampler::OccupancySampler(stats::Group *parent)
+    : stats::Group("occupancy", parent),
+      freeIntSeries(this, "freeInt", "free int physical registers"),
+      freeFpSeries(this, "freeFp", "free fp physical registers"),
+      sharedSeries(this, "shared",
+                   "physical registers holding >= 2 values"),
+      robSeries(this, "rob", "ROB occupancy"),
+      iqSeries(this, "iq", "IQ occupancy"),
+      lsqSeries(this, "lsq", "LQ+SQ occupancy")
+{
+}
+
+void
+OccupancySampler::record(Tick tick, const OccupancyPoint &p)
+{
+    freeIntSeries.sample(tick, p.freeInt);
+    freeFpSeries.sample(tick, p.freeFp);
+    sharedSeries.sample(tick, p.shared);
+    robSeries.sample(tick, p.rob);
+    iqSeries.sample(tick, p.iq);
+    lsqSeries.sample(tick, p.lsq);
+}
+
+void
+OccupancySampler::writeCsv(std::ostream &os) const
+{
+    os << "tick,freeInt,freeFp,shared,rob,iq,lsq\n";
+    const auto &base = freeIntSeries.raw();
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        os << base[i].tick << "," << base[i].value << ","
+           << freeFpSeries.raw()[i].value << ","
+           << sharedSeries.raw()[i].value << ","
+           << robSeries.raw()[i].value << ","
+           << iqSeries.raw()[i].value << ","
+           << lsqSeries.raw()[i].value << "\n";
+    }
+}
+
+void
+OccupancySampler::writeCsvFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os.is_open())
+        rrs_fatal("cannot open time-series CSV file '%s'", path.c_str());
+    writeCsv(os);
+}
+
+} // namespace rrs::obs

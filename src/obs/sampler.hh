@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interval occupancy sampler: a stats group of stats::TimeSeries that
+ * records the structural occupancies the paper's analysis lives on —
+ * free physical registers, shared (version >= 1) registers, ROB, IQ
+ * and LSQ — every N cycles, via the core's sampler hook.
+ *
+ * The sampler itself is model-agnostic: the harness installs a lambda
+ * that reads the core/renamer and calls record().  writeCsv() exports
+ * all series in one wide CSV (tick plus one column per series), the
+ * format notebooks expect.
+ */
+
+#ifndef RRS_OBS_SAMPLER_HH
+#define RRS_OBS_SAMPLER_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace rrs::obs {
+
+/** One sampling instant's occupancies. */
+struct OccupancyPoint
+{
+    std::uint32_t freeInt = 0;    //!< free int physical registers
+    std::uint32_t freeFp = 0;     //!< free fp physical registers
+    std::uint32_t shared = 0;     //!< registers holding >= 2 values
+    std::uint32_t rob = 0;
+    std::uint32_t iq = 0;
+    std::uint32_t lsq = 0;
+};
+
+/** TimeSeries bundle for the standard occupancy channels. */
+class OccupancySampler : public stats::Group
+{
+  public:
+    explicit OccupancySampler(stats::Group *parent = nullptr);
+
+    /** Record one instant (called from the core's sampler hook). */
+    void record(Tick tick, const OccupancyPoint &p);
+
+    std::uint64_t samples() const { return freeIntSeries.samples(); }
+
+    /** Wide CSV: tick,freeInt,freeFp,shared,rob,iq,lsq. */
+    void writeCsv(std::ostream &os) const;
+
+    /** writeCsv() into a file (fatal if it cannot be opened). */
+    void writeCsvFile(const std::string &path) const;
+
+    const stats::TimeSeries &freeInt() const { return freeIntSeries; }
+    const stats::TimeSeries &freeFp() const { return freeFpSeries; }
+    const stats::TimeSeries &shared() const { return sharedSeries; }
+    const stats::TimeSeries &rob() const { return robSeries; }
+    const stats::TimeSeries &iq() const { return iqSeries; }
+    const stats::TimeSeries &lsq() const { return lsqSeries; }
+
+  private:
+    stats::TimeSeries freeIntSeries;
+    stats::TimeSeries freeFpSeries;
+    stats::TimeSeries sharedSeries;
+    stats::TimeSeries robSeries;
+    stats::TimeSeries iqSeries;
+    stats::TimeSeries lsqSeries;
+};
+
+} // namespace rrs::obs
+
+#endif // RRS_OBS_SAMPLER_HH

@@ -126,6 +126,13 @@ class Renamer : public stats::Group
     /** Total physical registers in a class (any bank). */
     virtual std::uint32_t totalRegs(RegClass cls) const = 0;
 
+    /**
+     * Physical registers currently holding more than one value
+     * (version counter >= 1).  Always 0 for the baseline; the
+     * observability sampler records this per interval.
+     */
+    virtual std::uint32_t sharedRegs(RegClass) const { return 0; }
+
     /** Maximum versions a tag can carry (1 for the baseline). */
     virtual std::uint32_t maxVersions() const = 0;
 

@@ -95,6 +95,12 @@ class ReuseRenamer : public Renamer
     /** Registers whose current version counter is >= k (Fig. 9). */
     std::uint32_t sharedAtLeast(RegClass cls, std::uint8_t k) const;
 
+    std::uint32_t
+    sharedRegs(RegClass cls) const override
+    {
+        return sharedAtLeast(cls, 1);
+    }
+
     /** Current speculative mapping (tests / debugging). */
     PhysRegTag mapping(RegClass cls, LogRegIndex reg) const;
 

@@ -1,11 +1,58 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 #include "common/logging.hh"
 
 namespace rrs::stats {
+
+namespace {
+
+/**
+ * Write a double as a JSON number.  Full round-trip precision (%.17g);
+ * non-finite values, which JSON cannot represent, become null.
+ */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+/** Write a JSON string literal with the required escapes. */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
 
 StatBase::StatBase(Group *parent, std::string name, std::string desc)
     : statName(std::move(name)), statDesc(std::move(desc))
@@ -21,11 +68,35 @@ Scalar::dump(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Scalar::dumpJson(std::ostream &os) const
+{
+    os << "{\"type\": \"scalar\", \"value\": ";
+    jsonNumber(os, val);
+    os << ", \"desc\": ";
+    jsonString(os, desc());
+    os << "}";
+}
+
+void
 Average::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << " " << mean() << "  # " << desc()
        << " (samples=" << n << " min=" << min() << " max=" << max()
        << ")\n";
+}
+
+void
+Average::dumpJson(std::ostream &os) const
+{
+    os << "{\"type\": \"average\", \"mean\": ";
+    jsonNumber(os, mean());
+    os << ", \"samples\": " << n << ", \"min\": ";
+    jsonNumber(os, min());
+    os << ", \"max\": ";
+    jsonNumber(os, max());
+    os << ", \"desc\": ";
+    jsonString(os, desc());
+    os << "}";
 }
 
 double
@@ -55,12 +126,93 @@ Distribution::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << "::samples " << total << "  # " << desc()
        << "\n";
+    os << prefix << name() << "::mean " << mean() << "\n";
+    os << prefix << name() << "::min " << minKey() << "\n";
+    os << prefix << name() << "::max " << maxKey() << "\n";
     for (const auto &[k, v] : counts) {
         os << prefix << name() << "::" << k << " " << v << " ("
            << std::fixed << std::setprecision(2)
            << (100.0 * fraction(k)) << "%)\n";
         os.unsetf(std::ios_base::floatfield);
     }
+}
+
+void
+Distribution::dumpJson(std::ostream &os) const
+{
+    os << "{\"type\": \"distribution\", \"samples\": " << total
+       << ", \"mean\": ";
+    jsonNumber(os, mean());
+    os << ", \"min\": " << minKey() << ", \"max\": " << maxKey()
+       << ", \"counts\": {";
+    bool first = true;
+    for (const auto &[k, v] : counts) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << k << "\": " << v;
+    }
+    os << "}, \"desc\": ";
+    jsonString(os, desc());
+    os << "}";
+}
+
+double
+TimeSeries::mean() const
+{
+    if (points.empty())
+        return 0.0;
+    double sum = 0;
+    for (const Point &p : points)
+        sum += p.value;
+    return sum / static_cast<double>(points.size());
+}
+
+void
+TimeSeries::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::samples " << points.size() << "  # "
+       << desc() << "\n";
+    os << prefix << name() << "::mean " << mean() << "\n";
+    if (!points.empty()) {
+        os << prefix << name() << "::firstTick " << points.front().tick
+           << "\n";
+        os << prefix << name() << "::lastTick " << points.back().tick
+           << "\n";
+    }
+}
+
+void
+TimeSeries::dumpCsv(std::ostream &os) const
+{
+    os << "tick," << name() << "\n";
+    for (const Point &p : points) {
+        os << p.tick << ",";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", p.value);
+        os << buf << "\n";
+    }
+}
+
+void
+TimeSeries::dumpJson(std::ostream &os) const
+{
+    os << "{\"type\": \"timeseries\", \"samples\": " << points.size()
+       << ", \"mean\": ";
+    jsonNumber(os, mean());
+    os << ", \"points\": [";
+    bool first = true;
+    for (const Point &p : points) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "[" << p.tick << ", ";
+        jsonNumber(os, p.value);
+        os << "]";
+    }
+    os << "], \"desc\": ";
+    jsonString(os, desc());
+    os << "}";
 }
 
 Group::Group(std::string name, Group *parent)
@@ -92,6 +244,35 @@ Group::dump(std::ostream &os, const std::string &prefix) const
         stat->dump(os, self);
     for (const auto *child : children)
         child->dump(os, self);
+}
+
+void
+Group::dumpJson(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    os << "{";
+    bool first = true;
+    for (const auto *stat : statList) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n" << pad;
+        jsonString(os, stat->name());
+        os << ": ";
+        stat->dumpJson(os);
+    }
+    for (const auto *child : children) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n" << pad;
+        jsonString(os, child->name());
+        os << ": ";
+        child->dumpJson(os, indent + 2);
+    }
+    if (!first)
+        os << "\n" << std::string(static_cast<std::size_t>(indent), ' ');
+    os << "}";
 }
 
 void

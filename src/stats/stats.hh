@@ -1,8 +1,9 @@
 /**
  * @file
  * Lightweight statistics package, modelled on gem5's: named scalar
- * counters, averages, sparse integer distributions, and fixed-bucket
- * histograms, organised into groups that can be dumped as text.
+ * counters, averages, sparse integer distributions, fixed-bucket
+ * histograms, and interval-sampled time series, organised into groups
+ * that can be dumped as text or as machine-readable JSON.
  *
  * Stats are plain members of the owning model object and register
  * themselves with the owner's Group; dumping a Group walks its stats in
@@ -45,6 +46,14 @@ class StatBase
     /** Write "name value # desc" lines to the stream. */
     virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
 
+    /**
+     * Write this stat as one JSON object (no trailing newline), e.g.
+     * {"type": "scalar", "value": 42, "desc": "..."}.  Every field of
+     * the text dump appears here too, so text and JSON reports carry
+     * the same information.
+     */
+    virtual void dumpJson(std::ostream &os) const = 0;
+
     /** Reset to the freshly-constructed state. */
     virtual void reset() = 0;
 
@@ -70,6 +79,7 @@ class Scalar : public StatBase
     void merge(const Scalar &other) { val += other.val; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override { val = 0; }
 
   private:
@@ -120,6 +130,7 @@ class Average : public StatBase
     }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override { sum = 0; n = 0; minV = 0; maxV = 0; }
 
   private:
@@ -166,6 +177,18 @@ class Distribution : public StatBase
 
     double mean() const;
 
+    /** Smallest sampled key (0 when empty). */
+    std::uint64_t minKey() const
+    {
+        return counts.empty() ? 0 : counts.begin()->first;
+    }
+
+    /** Largest sampled key (0 when empty). */
+    std::uint64_t maxKey() const
+    {
+        return counts.empty() ? 0 : counts.rbegin()->first;
+    }
+
     const std::map<std::uint64_t, std::uint64_t> &raw() const
     {
         return counts;
@@ -181,11 +204,65 @@ class Distribution : public StatBase
     }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
     void reset() override { counts.clear(); total = 0; }
 
   private:
     std::map<std::uint64_t, std::uint64_t> counts;
     std::uint64_t total = 0;
+};
+
+/**
+ * Interval-sampled time series: (tick, value) points recorded by a
+ * periodic sampler (e.g. free-list depth every 128 cycles).  The text
+ * dump prints a summary line; the full series is exported through
+ * dumpCsv() / dumpJson().
+ */
+class TimeSeries : public StatBase
+{
+  public:
+    /** One sampled point. */
+    struct Point
+    {
+        std::uint64_t tick;
+        double value;
+        bool operator==(const Point &) const = default;
+    };
+
+    TimeSeries(Group *parent, std::string name, std::string desc)
+        : StatBase(parent, std::move(name), std::move(desc)) {}
+
+    void sample(std::uint64_t tick, double v)
+    {
+        points.push_back(Point{tick, v});
+    }
+
+    std::uint64_t samples() const { return points.size(); }
+    const std::vector<Point> &raw() const { return points; }
+
+    double mean() const;
+
+    /**
+     * Fold another run's series into this one (post-join only).
+     * Appends: merged series from a sweep hold the runs back to back
+     * in submission order, each run's own ticks preserved.
+     */
+    void
+    merge(const TimeSeries &other)
+    {
+        points.insert(points.end(), other.points.begin(),
+                      other.points.end());
+    }
+
+    /** "tick,<name>" header plus one "tick,value" row per sample. */
+    void dumpCsv(std::ostream &os) const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
+    void reset() override { points.clear(); }
+
+  private:
+    std::vector<Point> points;
 };
 
 /**
@@ -205,6 +282,15 @@ class Group
 
     /** Dump this group and all children to a stream. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Dump this group and all children as one JSON object: each stat
+     * maps its name to the object written by its dumpJson(), each
+     * child group nests under its name.  Stat objects carry a "type"
+     * field; group objects do not.  Ends with a newline at the top
+     * level only when the caller adds one.
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
 
     /** Reset all stats in this group and all children. */
     void resetStats();

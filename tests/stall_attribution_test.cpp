@@ -1,0 +1,83 @@
+// Tests for the top-down cycle accounting: on real workloads, under
+// both renaming schemes, every simulated cycle is charged to exactly
+// one cause and the causes sum to the run's total cycles.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "obs/stallcause.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace rrs;
+using obs::CycleCause;
+
+constexpr std::uint64_t insts = 30'000;
+
+harness::Outcome
+runWorkload(const std::string &name, harness::RunConfig cfg)
+{
+    cfg.maxInsts = insts;
+    return harness::runOn(workloads::workload(name), cfg);
+}
+
+class StallAttribution
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(StallAttribution, CausesSumToCyclesBaseline)
+{
+    auto out = runWorkload(GetParam(), harness::baselineConfig(64));
+    EXPECT_EQ(out.stalls.sum(), out.sim.cycles);
+    EXPECT_GT(out.stalls.commitCycles(), 0u);
+}
+
+TEST_P(StallAttribution, CausesSumToCyclesReuse)
+{
+    auto out = runWorkload(GetParam(), harness::reuseConfig(64));
+    EXPECT_EQ(out.stalls.sum(), out.sim.cycles);
+    EXPECT_GT(out.stalls.commitCycles(), 0u);
+}
+
+TEST_P(StallAttribution, RollupsPartitionTheSum)
+{
+    auto out = runWorkload(GetParam(), harness::baselineConfig(64));
+    const auto &s = out.stalls;
+    // commit + drain + frontend + backend is the whole taxonomy: the
+    // rollups are a partition, not an overlapping summary.
+    EXPECT_EQ(s.commitCycles() + s.drainCycles() + s.frontendCycles() +
+                  s.backendCycles(),
+              s.sum());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, StallAttribution,
+                         ::testing::Values("fp_matmul", "int_sort",
+                                           "media_dct"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(StallAttribution, PressureShiftsCyclesIntoRenameNoReg)
+{
+    // A tiny register file must show free-list stall cycles that a
+    // large one does not.
+    auto small = runWorkload("fp_matmul", harness::baselineConfig(40));
+    auto large = runWorkload("fp_matmul", harness::baselineConfig(128));
+    EXPECT_GT(small.stalls.of(CycleCause::RenameNoReg),
+              large.stalls.of(CycleCause::RenameNoReg));
+}
+
+TEST(StallAttribution, EveryWorkloadHoldsTheInvariant)
+{
+    // The acceptance bar: all 21 workloads, shortened runs.
+    for (const auto &w : workloads::allWorkloads()) {
+        harness::RunConfig cfg = harness::baselineConfig(64);
+        cfg.maxInsts = 5'000;
+        auto out = harness::runOn(w, cfg);
+        EXPECT_EQ(out.stalls.sum(), out.sim.cycles) << w.name;
+    }
+}
+
+} // namespace

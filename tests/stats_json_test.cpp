@@ -1,0 +1,149 @@
+// Round-trip tests for the machine-readable stats export: build a
+// stats tree, dump it with Group::dumpJson, parse it back with the
+// obs jsonlite parser, and compare against the in-memory values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/jsonlite.hh"
+#include "stats/stats.hh"
+
+namespace {
+
+using namespace rrs;
+using obs::json::Value;
+
+TEST(JsonLite, ParsesScalarsAndStructure)
+{
+    Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(
+        R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x\ny", "e": true, "f": null}})",
+        v, &err))
+        << err;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.at("a").num, 1.5);
+    ASSERT_EQ(v.at("b").arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("b").arr[2].num, 3.0);
+    EXPECT_EQ(v.at("c").at("d").str, "x\ny");
+    EXPECT_TRUE(v.at("c").at("e").boolean);
+    EXPECT_TRUE(v.at("c").at("f").isNull());
+}
+
+TEST(JsonLite, RejectsMalformedInput)
+{
+    Value v;
+    std::string err;
+    EXPECT_FALSE(obs::json::parse("{\"a\": }", v, &err));
+    EXPECT_FALSE(obs::json::parse("[1, 2", v, &err));
+    EXPECT_FALSE(obs::json::parse("{\"a\": 1} trailing", v, &err));
+    EXPECT_FALSE(obs::json::parse("", v, &err));
+}
+
+TEST(StatsJson, GroupRoundTrip)
+{
+    stats::Group root("root");
+    stats::Scalar s(&root, "insts", "committed \"instructions\"");
+    stats::Average a(&root, "wall", "wall seconds");
+    stats::Distribution d(&root, "ipc", "ipc percent");
+    stats::TimeSeries ts(&root, "occupancy", "rob occupancy");
+    stats::Group child("core", &root);
+    stats::Scalar cs(&child, "cycles", "cycles");
+
+    s += 12345.0;
+    a.sample(0.5);
+    a.sample(1.5);
+    d.sample(7);
+    d.sample(7);
+    d.sample(42);
+    ts.sample(100, 3.0);
+    ts.sample(200, 5.25);
+    cs += 99.0;
+
+    std::ostringstream os;
+    root.dumpJson(os);
+
+    Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(os.str(), v, &err))
+        << err << "\n" << os.str();
+
+    // Scalar: value and the escaped description survive.
+    EXPECT_DOUBLE_EQ(v.at("insts").at("value").num, 12345.0);
+    EXPECT_EQ(v.at("insts").at("desc").str,
+              "committed \"instructions\"");
+
+    // Average: mean/samples/min/max.
+    EXPECT_DOUBLE_EQ(v.at("wall").at("mean").num, 1.0);
+    EXPECT_DOUBLE_EQ(v.at("wall").at("samples").num, 2.0);
+    EXPECT_DOUBLE_EQ(v.at("wall").at("min").num, 0.5);
+    EXPECT_DOUBLE_EQ(v.at("wall").at("max").num, 1.5);
+
+    // Distribution: summary plus the per-bucket counts.
+    EXPECT_DOUBLE_EQ(v.at("ipc").at("samples").num, 3.0);
+    EXPECT_DOUBLE_EQ(v.at("ipc").at("min").num, 7.0);
+    EXPECT_DOUBLE_EQ(v.at("ipc").at("max").num, 42.0);
+    EXPECT_DOUBLE_EQ(v.at("ipc").at("counts").at("7").num, 2.0);
+    EXPECT_DOUBLE_EQ(v.at("ipc").at("counts").at("42").num, 1.0);
+
+    // Time series: points as [tick, value] pairs, in order.
+    const Value &pts = v.at("occupancy").at("points");
+    ASSERT_EQ(pts.arr.size(), 2u);
+    EXPECT_DOUBLE_EQ(pts.arr[0].arr[0].num, 100.0);
+    EXPECT_DOUBLE_EQ(pts.arr[0].arr[1].num, 3.0);
+    EXPECT_DOUBLE_EQ(pts.arr[1].arr[1].num, 5.25);
+
+    // Child group nests as an object.
+    EXPECT_DOUBLE_EQ(v.at("core").at("cycles").at("value").num, 99.0);
+}
+
+TEST(StatsJson, FullPrecisionAndNonFinite)
+{
+    stats::Group root("root");
+    stats::Scalar pi(&root, "pi", "full precision");
+    stats::Average empty(&root, "empty", "no samples yet");
+    pi += 3.14159265358979312;  // closest double to pi
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    Value v;
+    ASSERT_TRUE(obs::json::parse(os.str(), v));
+
+    // %.17g round-trips doubles exactly.
+    EXPECT_EQ(v.at("pi").at("value").num, 3.14159265358979312);
+    // An empty Average has no min/max; non-finite values must emit
+    // valid JSON (null), not bare inf/nan tokens.
+    EXPECT_TRUE(v.at("empty").at("min").isNull() ||
+                std::isfinite(v.at("empty").at("min").num));
+}
+
+TEST(StatsJson, TextAndJsonCarryTheSameSummary)
+{
+    // The satellite fix: the text dump of a Distribution reports the
+    // same count/min/max/mean the JSON does.
+    stats::Group root("root");
+    stats::Distribution d(&root, "lat", "latency");
+    d.sample(3);
+    d.sample(9);
+    d.sample(9);
+
+    std::ostringstream text;
+    root.dump(text);
+    EXPECT_NE(text.str().find("lat::samples 3"), std::string::npos)
+        << text.str();
+    EXPECT_NE(text.str().find("lat::min 3"), std::string::npos);
+    EXPECT_NE(text.str().find("lat::max 9"), std::string::npos);
+    EXPECT_NE(text.str().find("lat::mean 7"), std::string::npos);
+
+    std::ostringstream js;
+    root.dumpJson(js);
+    Value v;
+    ASSERT_TRUE(obs::json::parse(js.str(), v));
+    EXPECT_DOUBLE_EQ(v.at("lat").at("samples").num, 3.0);
+    EXPECT_DOUBLE_EQ(v.at("lat").at("min").num, 3.0);
+    EXPECT_DOUBLE_EQ(v.at("lat").at("max").num, 9.0);
+}
+
+} // namespace
