@@ -35,8 +35,10 @@
 #include "common/threadpool.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
+#include "harness/tracecache.hh"
 #include "stats/table.hh"
 #include "trace/analysis.hh"
+#include "trace/recorded.hh"
 #include "workloads/workloads.hh"
 
 namespace rrs::bench {
@@ -79,11 +81,64 @@ statsJsonPath()
     return path;
 }
 
+/** `--suite <name>` filter ("" = all suites). */
+inline std::string &
+suiteFilter()
+{
+    static std::string suite;
+    return suite;
+}
+
+/** `--workload <substr>` filter ("" = all workloads). */
+inline std::string &
+workloadFilter()
+{
+    static std::string substr;
+    return substr;
+}
+
+/**
+ * Apply the --suite / --workload filters to a workload list.  Fatal
+ * when the filters select nothing (a typo'd name would otherwise
+ * silently produce an empty table).
+ */
+inline std::vector<workloads::Workload>
+filterWorkloads(const std::vector<workloads::Workload> &in)
+{
+    std::vector<workloads::Workload> out;
+    for (const auto &w : in) {
+        if (!suiteFilter().empty() && w.suite != suiteFilter())
+            continue;
+        if (!workloadFilter().empty() &&
+            w.name.find(workloadFilter()) == std::string::npos)
+            continue;
+        out.push_back(w);
+    }
+    if (out.empty())
+        rrs_fatal("no workloads match --suite '%s' --workload '%s'",
+                  suiteFilter().c_str(), workloadFilter().c_str());
+    return out;
+}
+
+/**
+ * The workloads this bench invocation runs: all of them by default,
+ * a subset under --suite / --workload.  The full run's tables are
+ * untouched by this machinery; the filters exist for quick iteration
+ * on one kernel or suite.
+ */
+inline std::vector<workloads::Workload>
+selectedWorkloads()
+{
+    return filterWorkloads(workloads::allWorkloads());
+}
+
 /**
  * Standard bench option handling; call first in every main().  Parses
  * `--stats-json <path>` (the RRS_STATS_JSON environment variable is
- * the default) and returns the arguments it did not consume, in order,
- * for the bench's own flags (e.g. fig10's --quick).
+ * the default), `--suite <name>` and `--workload <substr>` (subset
+ * selection for quick iteration; see selectedWorkloads()), and returns
+ * the arguments it did not consume, in order, for the bench's own
+ * flags (e.g. fig10's --quick).
  */
 inline std::vector<std::string>
 init(int argc, char **argv)
@@ -96,6 +151,20 @@ init(int argc, char **argv)
             if (i + 1 >= argc)
                 rrs_fatal("--stats-json needs a path argument");
             statsJsonPath() = argv[++i];
+        } else if (std::strcmp(argv[i], "--suite") == 0) {
+            if (i + 1 >= argc)
+                rrs_fatal("--suite needs a suite name argument");
+            suiteFilter() = argv[++i];
+            bool known = false;
+            for (const auto &s : workloads::suiteNames())
+                known = known || s == suiteFilter();
+            if (!known)
+                rrs_fatal("unknown suite '%s' (try: specint, specfp, "
+                          "media, cognitive)", suiteFilter().c_str());
+        } else if (std::strcmp(argv[i], "--workload") == 0) {
+            if (i + 1 >= argc)
+                rrs_fatal("--workload needs a name substring argument");
+            workloadFilter() = argv[++i];
         } else {
             rest.emplace_back(argv[i]);
         }
@@ -122,6 +191,8 @@ finish(const std::string &name)
         rrs_fatal("cannot open stats JSON file '%s'", path.c_str());
     os << "{\n  \"bench\": \"" << name << "\",\n  \"sweep\": ";
     sweeper().dumpJson(os, 2);
+    os << ",\n  \"trace_cache\": ";
+    harness::traceCache().dumpJson(os, 2);
     os << "\n}\n";
     std::printf("stats json: %s\n", path.c_str());
 }
@@ -136,13 +207,13 @@ banner(const std::string &what, const std::string &paperRef)
     std::printf("==============================================================\n");
 }
 
-/** Value-usage analysis for one workload. */
+/** Value-usage analysis for one workload (trace-cache backed). */
 inline trace::UsageReport
 usageOf(const workloads::Workload &w,
         std::uint64_t window = analysisInsts)
 {
-    auto stream = workloads::makeStream(w, window);
-    return trace::analyzeUsage(*stream, window);
+    trace::ReplayStream stream(harness::traceCache().get(w, window));
+    return trace::analyzeUsage(stream, window);
 }
 
 /**
@@ -223,7 +294,7 @@ geomeanSpeedups(const std::vector<harness::RunConfig> &propConfigs,
                 std::uint32_t baselineRegs,
                 std::uint64_t insts = timingInsts)
 {
-    const auto &ws = workloads::allWorkloads();
+    const auto ws = selectedWorkloads();
     std::vector<harness::SweepItem> items;
     items.reserve(ws.size() * (propConfigs.size() + 1));
     for (const auto &w : ws) {

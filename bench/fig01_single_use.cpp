@@ -24,7 +24,7 @@ main(int argc, char **argv)
                   "SPECfp > 50%, SPECint > 30% of instructions are sole "
                   "consumers of a value");
 
-    const auto &all = workloads::allWorkloads();
+    const auto all = bench::selectedWorkloads();
     auto reports = bench::usageReports(all);
 
     stats::TextTable t({"workload", "suite", "redefining%", "other%",
@@ -42,6 +42,8 @@ main(int argc, char **argv)
             redefs.push_back(r);
             others.push_back(o);
         }
+        if (redefs.empty())
+            continue;  // suite filtered out
         double ar = 0, ao = 0;
         for (std::size_t i = 0; i < redefs.size(); ++i) {
             ar += redefs[i];

@@ -21,7 +21,7 @@ main(int argc, char **argv)
                   "single-consumer values dominate (most values are "
                   "consumed just once in SPEC)");
 
-    const auto &all = workloads::allWorkloads();
+    const auto all = bench::selectedWorkloads();
     auto reports = bench::usageReports(all);
 
     stats::TextTable t({"workload", "1", "2", "3", "4", "5", "6+"});
@@ -39,6 +39,8 @@ main(int argc, char **argv)
                 t.cell(v, 1);
             rows.push_back(row);
         }
+        if (rows.empty())
+            continue;  // suite filtered out
         t.row().cell("MEAN(" + suite + ")");
         for (int k = 0; k < 6; ++k) {
             double sum = 0;

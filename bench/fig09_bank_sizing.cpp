@@ -46,7 +46,8 @@ main(int argc, char **argv)
     cfg.reuse.fpBanks = {32, 0, 0, 96};
     cfg.maxInsts = bench::timingInsts;
 
-    const auto ws = workloads::suiteWorkloads("specfp");
+    const auto ws =
+        bench::filterWorkloads(workloads::suiteWorkloads("specfp"));
     std::vector<harness::SweepItem> items;
     items.reserve(ws.size());
     for (const auto &w : ws)

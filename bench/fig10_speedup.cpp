@@ -30,10 +30,17 @@ main(int argc, char **argv)
                            ? std::vector<std::uint32_t>{48, 64, 96}
                            : bench::rfSizes();
 
-    const auto &all = workloads::allWorkloads();
+    const auto all = bench::selectedWorkloads();
     auto grid = bench::outcomeGrid(all, sizes);
 
     for (const auto &suite : workloads::suiteNames()) {
+        // Under --suite / --workload filtering some suites may have no
+        // selected members; an unfiltered run always has rows here.
+        bool any = false;
+        for (const auto &w : all)
+            any = any || w.suite == suite;
+        if (!any)
+            continue;
         std::vector<std::string> headers = {"workload"};
         for (auto n : sizes)
             headers.push_back(std::to_string(n));

@@ -26,7 +26,7 @@ main(int argc, char **argv)
                   "proposed reaches baseline IPC with ~1 size class "
                   "fewer registers (10.5% register-file reduction)");
 
-    const auto &all = workloads::allWorkloads();
+    const auto all = bench::selectedWorkloads();
     auto grid = bench::outcomeGrid(all, bench::rfSizes());
 
     stats::TextTable t({"regs", "baseline IPC", "proposed IPC"});

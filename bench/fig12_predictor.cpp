@@ -25,7 +25,7 @@ main(int argc, char **argv)
                   "most predictions correct; ~2.28% lost opportunities "
                   "and ~3.1% repaired mispredictions in SPECfp");
 
-    const auto &all = workloads::allWorkloads();
+    const auto all = bench::selectedWorkloads();
     std::vector<harness::SweepItem> items;
     items.reserve(all.size());
     for (const auto &w : all) {
@@ -57,6 +57,8 @@ main(int argc, char **argv)
             ok.push_back(100.0 * (f.reuseCorrect + f.noReuseCorrect) /
                          total);
         }
+        if (ok.empty())
+            continue;  // suite filtered out
         double mean = 0;
         for (double v : ok)
             mean += v;

@@ -95,12 +95,12 @@ void
 BM_EmulatorThroughput(benchmark::State &state)
 {
     const auto &w = workloads::workload("int_crc");
-    auto stream = workloads::makeStream(w, 1'000'000'000);
+    auto stream = workloads::makeEmulator(w, 1'000'000'000);
     trace::DynInst di;
     std::uint64_t n = 0;
     for (auto _ : state) {
         if (!stream->step(di))
-            stream = workloads::makeStream(w, 1'000'000'000);
+            stream = workloads::makeEmulator(w, 1'000'000'000);
         benchmark::DoNotOptimize(di);
         ++n;
     }
@@ -113,7 +113,7 @@ BM_UsageAnalysis(benchmark::State &state)
 {
     for (auto _ : state) {
         auto stream =
-            workloads::makeStream(workloads::workload("fp_horner"),
+            workloads::makeEmulator(workloads::workload("fp_horner"),
                                   50'000);
         auto rep = trace::analyzeUsage(*stream, 50'000);
         benchmark::DoNotOptimize(rep);

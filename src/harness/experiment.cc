@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "core/o3core.hh"
+#include "harness/tracecache.hh"
 #include "obs/pipetrace.hh"
 #include "obs/sampler.hh"
 
@@ -14,7 +15,11 @@ Outcome
 runOn(const workloads::Workload &w, const RunConfig &config,
       bool sampleSharing)
 {
-    auto stream = workloads::makeStream(w, config.maxInsts);
+    // Capture-once / replay-many: the functional emulation of
+    // (workload, cap) happens at most once per process; every run —
+    // and every lane of a parallel sweep — replays the shared
+    // immutable trace through its own cursor.
+    trace::ReplayStream stream(traceCache().get(w, config.maxInsts));
     mem::MemSystem mem(config.mem);
     bpred::BranchPredictor bp(config.bpred);
 
@@ -29,7 +34,7 @@ runOn(const workloads::Workload &w, const RunConfig &config,
         renamer = std::move(r);
     }
 
-    core::O3Core core(config.core, *renamer, mem, bp, *stream);
+    core::O3Core core(config.core, *renamer, mem, bp, stream);
 
     std::unique_ptr<obs::PipeTracer> tracer;
     if (!config.obs.pipeTracePath.empty()) {
@@ -77,6 +82,7 @@ runOn(const workloads::Workload &w, const RunConfig &config,
     }
 
     out.sim = core.run();
+    traceCache().noteReplayed(stream.replayed());
     out.stalls = core.stallBreakdown();
     if (sampleOccupancy && !config.obs.timeseriesCsvPath.empty())
         occupancy.writeCsvFile(config.obs.timeseriesCsvPath);

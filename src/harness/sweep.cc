@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "harness/tracecache.hh"
 
 namespace rrs::harness {
 
@@ -28,7 +29,15 @@ SweepRunner::SweepRunner(unsigned threads)
       totalInsts(this, "insts", "instructions committed across runs"),
       totalCycles(this, "cycles", "cycles simulated across runs"),
       runWall(this, "run_wall_seconds", "per-run wall-clock seconds"),
-      runIpcPct(this, "run_ipc_pct", "per-run committed IPC (percent)")
+      runIpcPct(this, "run_ipc_pct", "per-run committed IPC (percent)"),
+      traceCaptureInsts(this, "trace_capture_insts",
+                        "instructions emulated to capture traces"),
+      traceReplayInsts(this, "trace_replay_insts",
+                       "instructions replayed from cached traces"),
+      traceCacheHits(this, "trace_cache_hits",
+                     "sweep runs served from the trace cache"),
+      traceCacheMisses(this, "trace_cache_misses",
+                       "sweep runs that captured their trace")
 {
     if (const char *env = std::getenv("RRS_PIPETRACE"))
         tracePrefix = env;
@@ -65,6 +74,7 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         perRun.push_back(std::make_unique<RunStats>());
 
     const auto sweepStart = Clock::now();
+    const TraceCache::Counters cacheBefore = traceCache().counters();
     pool.parallelFor(items.size(), [&](std::size_t i) {
         const SweepItem &item = items[i];
         rrs_assert(item.workload != nullptr, "sweep item needs a workload");
@@ -97,6 +107,7 @@ SweepRunner::run(const std::vector<SweepItem> &items)
     });
     const std::chrono::duration<double> sweepDt =
         Clock::now() - sweepStart;
+    const TraceCache::Counters cacheAfter = traceCache().counters();
 
     // Workers have joined (parallelFor returned): the merge path.
     resetStats();
@@ -107,6 +118,16 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         runWall.merge(rs->wall);
         runIpcPct.merge(rs->ipcPct);
     }
+    traceCaptureInsts =
+        static_cast<double>(cacheAfter.capturedInsts -
+                            cacheBefore.capturedInsts);
+    traceReplayInsts =
+        static_cast<double>(cacheAfter.replayedInsts -
+                            cacheBefore.replayedInsts);
+    traceCacheHits =
+        static_cast<double>(cacheAfter.hits - cacheBefore.hits);
+    traceCacheMisses =
+        static_cast<double>(cacheAfter.misses - cacheBefore.misses);
 
     lastSummary = SweepSummary{};
     lastSummary.threads = pool.numThreads();
@@ -120,6 +141,12 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         static_cast<std::uint64_t>(totalInsts.value());
     lastSummary.cyclesSimulated =
         static_cast<std::uint64_t>(totalCycles.value());
+    lastSummary.traceHits = cacheAfter.hits - cacheBefore.hits;
+    lastSummary.traceMisses = cacheAfter.misses - cacheBefore.misses;
+    lastSummary.instsCaptured =
+        cacheAfter.capturedInsts - cacheBefore.capturedInsts;
+    lastSummary.instsReplayed =
+        cacheAfter.replayedInsts - cacheBefore.replayedInsts;
     return results;
 }
 
@@ -138,13 +165,26 @@ void
 SweepRunner::printSummary(std::ostream &os) const
 {
     const SweepSummary &s = lastSummary;
-    char buf[256];
+    char buf[384];
+    // Minst/s counts only timing-simulation work; the functional
+    // emulation spent capturing traces (paid once per workload/cap,
+    // not once per run) is reported separately so throughput stays
+    // honest now that streams replay from the cache.
     std::snprintf(buf, sizeof(buf),
                   "sweep: %zu runs in %.2f s on %u thread%s "
-                  "(%.1f runs/s, %.2f Minst/s, %.0f%% utilisation)\n",
+                  "(%.1f runs/s, %.2f Minst/s simulated, "
+                  "%.0f%% utilisation)\n"
+                  "trace cache: %llu hit%s / %llu miss%s, "
+                  "%.2f Minst captured once, %.2f Minst replayed\n",
                   s.runs, s.wallSeconds, s.threads,
                   s.threads == 1 ? "" : "s", s.runsPerSec(),
-                  s.instsPerSec() / 1e6, 100.0 * s.utilisation());
+                  s.instsPerSec() / 1e6, 100.0 * s.utilisation(),
+                  static_cast<unsigned long long>(s.traceHits),
+                  s.traceHits == 1 ? "" : "s",
+                  static_cast<unsigned long long>(s.traceMisses),
+                  s.traceMisses == 1 ? "" : "es",
+                  static_cast<double>(s.instsCaptured) / 1e6,
+                  static_cast<double>(s.instsReplayed) / 1e6);
     os << buf;
 }
 

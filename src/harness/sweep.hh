@@ -68,6 +68,16 @@ struct SweepSummary
     std::uint64_t instsCommitted = 0;
     std::uint64_t cyclesSimulated = 0;
 
+    // Trace-cache traffic attributable to this sweep.  Captured
+    // instructions are functional-emulation work paid at most once per
+    // (workload, cap); replayed instructions are what the timing runs
+    // actually consumed.  Reported separately from instsCommitted so
+    // the Minst/s figure only ever counts simulated (timing) work.
+    std::uint64_t traceHits = 0;
+    std::uint64_t traceMisses = 0;
+    std::uint64_t instsCaptured = 0;
+    std::uint64_t instsReplayed = 0;
+
     double
     runsPerSec() const
     {
@@ -160,6 +170,13 @@ class SweepRunner : public stats::Group
     stats::Scalar totalCycles;
     stats::Average runWall;
     stats::Distribution runIpcPct;
+
+    // Trace-cache deltas of the most recent run() (set post-join from
+    // the cache's own counters; see harness/tracecache.hh).
+    stats::Scalar traceCaptureInsts;
+    stats::Scalar traceReplayInsts;
+    stats::Scalar traceCacheHits;
+    stats::Scalar traceCacheMisses;
 };
 
 /** Convenience builder. */

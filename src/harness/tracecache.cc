@@ -1,0 +1,140 @@
+#include "tracecache.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "trace/tracefile.hh"
+
+namespace rrs::harness {
+
+TraceCache::TraceCache()
+    : stats::Group("trace_cache"),
+      hitsStat(this, "hits", "trace cache hits"),
+      missesStat(this, "misses", "trace cache misses (captures)"),
+      capturedStat(this, "captured_insts",
+                   "instructions functionally emulated to capture traces"),
+      replayedStat(this, "replayed_insts",
+                   "instructions replayed from cached traces"),
+      spillLoadsStat(this, "spill_loads",
+                     "traces loaded from RRS_TRACE_DIR"),
+      spillStoresStat(this, "spill_stores",
+                      "traces written to RRS_TRACE_DIR")
+{
+    if (const char *env = std::getenv("RRS_TRACE_DIR"))
+        dir = env;
+}
+
+trace::TracePtr
+TraceCache::get(const workloads::Workload &w, std::uint64_t maxInsts)
+{
+    const Key key{w.name, workloads::resolvedCap(w, maxInsts)};
+
+    std::unique_lock<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it != entries.end()) {
+        ++hitsStat;
+        auto future = it->second;
+        lock.unlock();
+        // May block until the capturing lane publishes the trace; the
+        // arrival still counts as a hit because nothing was emulated
+        // on its behalf.
+        return future.get();
+    }
+
+    ++missesStat;
+    std::promise<trace::TracePtr> promise;
+    entries.emplace(key, promise.get_future().share());
+    const std::string spillTo = dir;
+    lock.unlock();
+
+    // Capture (or spill-load) outside the lock: other keys miss and
+    // capture concurrently, other requesters of this key wait on the
+    // future instead of re-emulating.
+    trace::TracePtr trace;
+    bool loaded = false;
+    const std::string path =
+        spillTo.empty() ? std::string{}
+                        : spillTo + "/" +
+                              trace::traceFileName(key.first, key.second);
+    if (!path.empty()) {
+        std::string error;
+        trace::TracePtr spilled = trace::tryReadTraceFile(path, error);
+        if (spilled && spilled->workload() == key.first &&
+            spilled->cap() == key.second &&
+            spilled->sourceHash() == workloads::sourceHash(w)) {
+            trace = spilled;
+            loaded = true;
+        } else if (spilled) {
+            rrs_warn("stale trace file '%s' (workload sources changed?); "
+                     "recapturing", path.c_str());
+        }
+    }
+    if (!trace)
+        trace = workloads::captureTrace(w, maxInsts);
+
+    bool stored = false;
+    if (!loaded && !path.empty()) {
+        std::string error;
+        stored = trace::tryWriteTraceFile(path, *trace, error);
+        if (!stored)
+            rrs_warn_once("trace spill disabled: %s", error.c_str());
+    }
+
+    lock.lock();
+    if (loaded) {
+        ++spillLoadsStat;
+    } else {
+        capturedStat += static_cast<double>(trace->size());
+        if (stored)
+            ++spillStoresStat;
+    }
+    lock.unlock();
+
+    promise.set_value(trace);
+    return trace;
+}
+
+void
+TraceCache::noteReplayed(std::uint64_t insts)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    replayedStat += static_cast<double>(insts);
+}
+
+TraceCache::Counters
+TraceCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Counters c;
+    c.hits = static_cast<std::uint64_t>(hitsStat.value());
+    c.misses = static_cast<std::uint64_t>(missesStat.value());
+    c.capturedInsts = static_cast<std::uint64_t>(capturedStat.value());
+    c.replayedInsts = static_cast<std::uint64_t>(replayedStat.value());
+    c.spillLoads = static_cast<std::uint64_t>(spillLoadsStat.value());
+    c.spillStores = static_cast<std::uint64_t>(spillStoresStat.value());
+    return c;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    entries.clear();
+    resetStats();
+}
+
+void
+TraceCache::setSpillDir(std::string newDir)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    dir = std::move(newDir);
+}
+
+TraceCache &
+traceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+} // namespace rrs::harness

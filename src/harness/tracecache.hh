@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Process-wide trace cache: capture once, replay for every sweep run.
+ *
+ * Keyed by (workload name, resolved stream cap).  The first requester
+ * of a key captures the trace (at most one capture per key even when
+ * many sweep lanes miss concurrently — later arrivals block on the
+ * capturing lane's future); every later request is a cache hit that
+ * shares the same immutable RecordedTrace.  Optionally spills captured
+ * traces to `RRS_TRACE_DIR` as versioned binary files
+ * (trace/tracefile.hh) and loads them back in later processes, so a
+ * whole bench suite pays the functional-emulation cost of each
+ * (workload, cap) pair once per machine instead of once per run.
+ *
+ * Invalidation: a spilled file is trusted only if its workload name,
+ * cap and assembly source hash all match the current registry and its
+ * content digest verifies; anything stale, truncated or corrupt is
+ * ignored (with a warning) and recaptured fresh.  Bumping
+ * trace::traceFileVersion orphans all older spills.
+ *
+ * Counters (hits, misses, captured vs replayed instructions, spill
+ * traffic) are a stats::Group, so they join the text dumps and the
+ * --stats-json export; their values are deterministic across thread
+ * counts.
+ */
+
+#ifndef RRS_HARNESS_TRACECACHE_HH
+#define RRS_HARNESS_TRACECACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "stats/stats.hh"
+#include "trace/recorded.hh"
+#include "workloads/workloads.hh"
+
+namespace rrs::harness {
+
+class TraceCache : public stats::Group
+{
+  public:
+    /** Deterministic snapshot of the cache counters. */
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t capturedInsts = 0;
+        std::uint64_t replayedInsts = 0;
+        std::uint64_t spillLoads = 0;
+        std::uint64_t spillStores = 0;
+    };
+
+    /** Spill directory defaults to the RRS_TRACE_DIR environment. */
+    TraceCache();
+
+    /**
+     * The trace for (workload, maxInsts), capturing it on first use.
+     * @param maxInsts cap override; 0 resolves to the workload default
+     *        (the resolved value is the cache key, so 0 and the
+     *        explicit default share an entry)
+     */
+    trace::TracePtr get(const workloads::Workload &w,
+                        std::uint64_t maxInsts = 0);
+
+    /** Account instructions a ReplayStream fed to a timing run. */
+    void noteReplayed(std::uint64_t insts);
+
+    Counters counters() const;
+
+    /** Drop all entries and reset the counters (tests). */
+    void clear();
+
+    /** Override the spill directory; empty string disables spilling. */
+    void setSpillDir(std::string dir);
+    const std::string &spillDir() const { return dir; }
+
+  private:
+    using Key = std::pair<std::string, std::uint64_t>;
+
+    mutable std::mutex mu;
+    std::map<Key, std::shared_future<trace::TracePtr>> entries;
+    std::string dir;
+
+    // All mutations happen under `mu`; reads for reporting go through
+    // counters(), which locks too, so the group can be dumped while a
+    // sweep is idle without racing.
+    stats::Scalar hitsStat;
+    stats::Scalar missesStat;
+    stats::Scalar capturedStat;
+    stats::Scalar replayedStat;
+    stats::Scalar spillLoadsStat;
+    stats::Scalar spillStoresStat;
+};
+
+/** The process-wide cache every harness run shares. */
+TraceCache &traceCache();
+
+} // namespace rrs::harness
+
+#endif // RRS_HARNESS_TRACECACHE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Capture-once / replay-many instruction streams.
+ *
+ * A RecordedTrace is an immutable, shareable dynamic instruction
+ * sequence: the exact DynInst records a live emulator stream would
+ * produce for one (workload, cap) pair, plus the identity needed to
+ * validate reuse (workload name, stream cap, a hash of the workload's
+ * assembly source) and an FNV-1a content digest over every field of
+ * every record.
+ *
+ * A ReplayStream is a cheap cursor over a shared RecordedTrace: many
+ * sweep lanes replay the same read-only trace concurrently, each with
+ * its own position, so an N-config sweep pays the functional-emulation
+ * cost once instead of N times.  Replaying is bit-identical to pulling
+ * the emulator live — the determinism contract of harness/sweep.hh
+ * holds across cached-vs-fresh streams as well as across thread
+ * counts.
+ */
+
+#ifndef RRS_TRACE_RECORDED_HH
+#define RRS_TRACE_RECORDED_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/dyninst.hh"
+
+namespace rrs::trace {
+
+/** An immutable captured dynamic instruction sequence. */
+class RecordedTrace
+{
+  public:
+    /**
+     * @param workload workload name the trace was captured from
+     * @param cap stream-length cap used at capture (post-warmup,
+     *        already normalised: never 0)
+     * @param sourceHash hash of the workload's assembly source, used
+     *        to invalidate spilled traces when kernels change
+     * @param insts the captured records (moved in)
+     */
+    RecordedTrace(std::string workload, std::uint64_t cap,
+                  std::uint64_t sourceHash, std::vector<DynInst> insts);
+
+    const std::string &workload() const { return workloadName; }
+    std::uint64_t cap() const { return streamCap; }
+    std::uint64_t sourceHash() const { return srcHash; }
+
+    /** FNV-1a digest over every field of every record. */
+    std::uint64_t digest() const { return contentDigest; }
+
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+    const DynInst &operator[](std::size_t i) const { return records[i]; }
+    const std::vector<DynInst> &insts() const { return records; }
+
+    /** Fold one record's fields into a running FNV-1a state. */
+    static void foldInst(std::uint64_t &h, const DynInst &di);
+
+    /** Content digest of an arbitrary record sequence. */
+    static std::uint64_t digestOf(const std::vector<DynInst> &insts);
+
+  private:
+    std::string workloadName;
+    std::uint64_t streamCap;
+    std::uint64_t srcHash;
+    std::vector<DynInst> records;
+    std::uint64_t contentDigest;
+};
+
+/** Shared-ownership handle to an immutable trace. */
+using TracePtr = std::shared_ptr<const RecordedTrace>;
+
+/**
+ * A cursor over a shared RecordedTrace.  next() and reset() touch only
+ * the cursor, never the trace, so any number of ReplayStreams can read
+ * one trace concurrently.
+ */
+class ReplayStream : public InstStream
+{
+  public:
+    explicit ReplayStream(TracePtr trace);
+
+    std::optional<DynInst> next() override;
+    void reset() override { pos = 0; }
+    const std::string &name() const override;
+
+    /** Records emitted over the stream's lifetime (survives reset()). */
+    std::uint64_t replayed() const { return emitted; }
+
+    const RecordedTrace &trace() const { return *src; }
+
+  private:
+    TracePtr src;
+    std::size_t pos = 0;
+    std::uint64_t emitted = 0;
+};
+
+} // namespace rrs::trace
+
+#endif // RRS_TRACE_RECORDED_HH

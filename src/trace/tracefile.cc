@@ -1,0 +1,363 @@
+#include "tracefile.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rrs::trace {
+
+namespace {
+
+// Record flags byte.
+constexpr std::uint8_t flagTaken = 1u << 0;
+constexpr std::uint8_t flagEffAddr = 1u << 1;
+constexpr std::uint8_t flagFpImm = 1u << 2;
+constexpr std::uint8_t flagTarget = 1u << 3;
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (unsigned b = 0; b < 4; ++b)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (unsigned b = 0; b < 8; ++b)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+// A register id packs as (idx << 1) | cls; invalidRegIndex round-trips
+// like any other index so unused operand slots stay bit-faithful.
+std::uint64_t
+packReg(const isa::RegId &r)
+{
+    return (static_cast<std::uint64_t>(r.idx) << 1) |
+           static_cast<std::uint64_t>(r.cls);
+}
+
+/** Bounds-checked cursor over the file image. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : p(data), end(data + size)
+    {
+    }
+
+    bool ok() const { return good; }
+    std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+
+    std::uint8_t
+    u8()
+    {
+        if (p >= end) {
+            good = false;
+            return 0;
+        }
+        return *p++;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        for (unsigned b = 0; b < 4; ++b)
+            v |= static_cast<std::uint32_t>(u8()) << (8 * b);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            v |= static_cast<std::uint64_t>(u8()) << (8 * b);
+        return v;
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            std::uint8_t byte = u8();
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+        }
+        good = false;    // > 10 continuation bytes: corrupt
+        return v;
+    }
+
+    std::string
+    bytes(std::size_t n)
+    {
+        if (remaining() < n) {
+            good = false;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(p), n);
+        p += n;
+        return s;
+    }
+
+  private:
+    const std::uint8_t *p;
+    const std::uint8_t *end;
+    bool good = true;
+};
+
+bool
+unpackReg(std::uint64_t v, isa::RegId &r)
+{
+    std::uint64_t idx = v >> 1;
+    if (idx > invalidRegIndex)
+        return false;
+    r.cls = (v & 1) ? RegClass::Float : RegClass::Int;
+    r.idx = static_cast<LogRegIndex>(idx);
+    return true;
+}
+
+} // namespace
+
+std::string
+traceFileName(const std::string &workload, std::uint64_t cap)
+{
+    return workload + "_" + std::to_string(cap) + ".rrstrace";
+}
+
+bool
+tryWriteTraceFile(const std::string &path, const RecordedTrace &trace,
+                  std::string &error)
+{
+    std::vector<std::uint8_t> buf;
+    buf.reserve(64 + trace.size() * 16);
+
+    putU32(buf, traceFileMagic);
+    putU32(buf, traceFileVersion);
+    putVarint(buf, trace.workload().size());
+    for (char c : trace.workload())
+        buf.push_back(static_cast<std::uint8_t>(c));
+    putVarint(buf, trace.cap());
+    putU64(buf, trace.sourceHash());
+    putVarint(buf, trace.size());
+
+    std::uint64_t prevSeq = 0;
+    for (const DynInst &di : trace.insts()) {
+        putVarint(buf, di.seq - prevSeq);
+        prevSeq = di.seq;
+        putVarint(buf, di.pc);
+        putVarint(buf, zigzag(static_cast<std::int64_t>(di.nextPc) -
+                              static_cast<std::int64_t>(di.pc)));
+
+        std::uint64_t fbits;
+        std::memcpy(&fbits, &di.si.fimm, sizeof(fbits));
+
+        std::uint8_t flags = 0;
+        if (di.taken)
+            flags |= flagTaken;
+        if (di.effAddr != invalidAddr)
+            flags |= flagEffAddr;
+        if (fbits != 0)
+            flags |= flagFpImm;
+        if (di.si.target != invalidAddr)
+            flags |= flagTarget;
+        buf.push_back(flags);
+
+        buf.push_back(static_cast<std::uint8_t>(di.si.op));
+        putVarint(buf, packReg(di.si.dest));
+        for (const auto &s : di.si.srcs)
+            putVarint(buf, packReg(s));
+        putVarint(buf, zigzag(di.si.imm));
+        if (flags & flagFpImm)
+            putU64(buf, fbits);
+        if (flags & flagTarget)
+            putVarint(buf, di.si.target);
+        if (flags & flagEffAddr)
+            putVarint(buf, di.effAddr);
+    }
+    putU64(buf, trace.digest());
+
+    // Temp-file + rename keeps concurrent writers of one path atomic.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            error = "cannot open trace file '" + tmp + "' for writing";
+            return false;
+        }
+        os.write(reinterpret_cast<const char *>(buf.data()),
+                 static_cast<std::streamsize>(buf.size()));
+        if (!os) {
+            error = "short write to trace file '" + tmp + "'";
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "cannot rename trace file '" + tmp + "' to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+void
+writeTraceFile(const std::string &path, const RecordedTrace &trace)
+{
+    std::string error;
+    if (!tryWriteTraceFile(path, trace, error))
+        rrs_fatal("%s", error.c_str());
+}
+
+TracePtr
+tryReadTraceFile(const std::string &path, std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open trace file '" + path + "'";
+        return nullptr;
+    }
+    std::vector<std::uint8_t> buf(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+
+    // Smallest well-formed file: header with an empty name and zero
+    // records plus the digest trailer.
+    if (buf.size() < 4 + 4 + 1 + 1 + 8 + 1 + 8) {
+        error = "trace file '" + path + "' is too short";
+        return nullptr;
+    }
+
+    Reader r(buf.data(), buf.size());
+    if (r.u32() != traceFileMagic) {
+        error = "bad magic in trace file '" + path + "'";
+        return nullptr;
+    }
+    const std::uint32_t version = r.u32();
+    if (version != traceFileVersion) {
+        error = "unsupported trace version " + std::to_string(version) +
+                " in '" + path + "' (expected " +
+                std::to_string(traceFileVersion) + ")";
+        return nullptr;
+    }
+
+    const std::uint64_t nameLen = r.varint();
+    if (!r.ok() || nameLen > r.remaining()) {
+        error = "truncated trace file '" + path + "'";
+        return nullptr;
+    }
+    std::string name = r.bytes(static_cast<std::size_t>(nameLen));
+    const std::uint64_t cap = r.varint();
+    const std::uint64_t sourceHash = r.u64();
+    const std::uint64_t count = r.varint();
+    if (!r.ok()) {
+        error = "truncated trace file '" + path + "'";
+        return nullptr;
+    }
+    // Each record is at least 9 bytes; reject counts the file cannot
+    // possibly hold before reserving memory for them.
+    if (count > r.remaining() / 9 + 1) {
+        error = "corrupt record count in trace file '" + path + "'";
+        return nullptr;
+    }
+
+    std::vector<DynInst> insts;
+    insts.reserve(static_cast<std::size_t>(count));
+    std::uint64_t prevSeq = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        DynInst di;
+        di.seq = prevSeq + r.varint();
+        prevSeq = di.seq;
+        di.pc = r.varint();
+        di.nextPc = static_cast<Addr>(
+            static_cast<std::int64_t>(di.pc) + unzigzag(r.varint()));
+        const std::uint8_t flags = r.u8();
+        const std::uint8_t op = r.u8();
+        if (op >= static_cast<std::uint8_t>(isa::Opcode::NumOpcodes)) {
+            error = "corrupt opcode in trace file '" + path +
+                    "' (record " + std::to_string(i) + ")";
+            return nullptr;
+        }
+        di.si.op = static_cast<isa::Opcode>(op);
+        bool regsOk = unpackReg(r.varint(), di.si.dest);
+        for (auto &s : di.si.srcs)
+            regsOk = unpackReg(r.varint(), s) && regsOk;
+        if (!regsOk) {
+            error = "corrupt register id in trace file '" + path +
+                    "' (record " + std::to_string(i) + ")";
+            return nullptr;
+        }
+        di.si.imm = unzigzag(r.varint());
+        di.si.fimm = 0.0;
+        if (flags & flagFpImm) {
+            std::uint64_t fbits = r.u64();
+            std::memcpy(&di.si.fimm, &fbits, sizeof(di.si.fimm));
+        }
+        di.si.target = (flags & flagTarget) ? r.varint() : invalidAddr;
+        di.taken = (flags & flagTaken) != 0;
+        di.effAddr = (flags & flagEffAddr) ? r.varint() : invalidAddr;
+        if (!r.ok()) {
+            error = "truncated trace file '" + path + "' (record " +
+                    std::to_string(i) + " of " + std::to_string(count) +
+                    ")";
+            return nullptr;
+        }
+        insts.push_back(di);
+    }
+
+    const std::uint64_t storedDigest = r.u64();
+    if (!r.ok()) {
+        error = "truncated trace file '" + path + "' (missing digest "
+                "trailer)";
+        return nullptr;
+    }
+    auto trace = std::make_shared<RecordedTrace>(
+        std::move(name), cap, sourceHash, std::move(insts));
+    if (trace->digest() != storedDigest) {
+        error = "digest mismatch in trace file '" + path +
+                "': stored " + std::to_string(storedDigest) +
+                ", computed " + std::to_string(trace->digest());
+        return nullptr;
+    }
+    return trace;
+}
+
+TracePtr
+readTraceFile(const std::string &path)
+{
+    std::string error;
+    TracePtr trace = tryReadTraceFile(path, error);
+    if (!trace)
+        rrs_fatal("%s", error.c_str());
+    return trace;
+}
+
+} // namespace rrs::trace

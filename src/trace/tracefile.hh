@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Versioned binary codec for RecordedTrace: the `.rrstrace` format.
+ *
+ * Layout (all multi-byte scalars little endian):
+ *
+ *   header   u32 magic "RRST", u32 version,
+ *            varint nameLen + name bytes,
+ *            varint cap, u64 sourceHash, varint record count
+ *   records  one packed DynInst each (see tracefile.cc):
+ *            varint seq delta, varint pc, zigzag varint (nextPc - pc),
+ *            flags byte, opcode byte, 4 varint register ids,
+ *            zigzag varint immediate, then the optional fields the
+ *            flags announce (fp immediate, branch target, eff. addr)
+ *   trailer  u64 content digest (RecordedTrace::digestOf)
+ *
+ * The reader validates the magic, version and digest; the fatal-on-
+ * error entry points are for tools and tests, the try* variant lets
+ * the trace cache fall back to a fresh capture when a spilled file is
+ * stale, truncated or corrupt.
+ */
+
+#ifndef RRS_TRACE_TRACEFILE_HH
+#define RRS_TRACE_TRACEFILE_HH
+
+#include <string>
+
+#include "trace/recorded.hh"
+
+namespace rrs::trace {
+
+/** File magic: "RRST" read as a little-endian u32. */
+constexpr std::uint32_t traceFileMagic = 0x54535252u;
+
+/** Current format version. */
+constexpr std::uint32_t traceFileVersion = 1;
+
+/** Canonical spill file name for a (workload, cap) pair. */
+std::string traceFileName(const std::string &workload, std::uint64_t cap);
+
+/**
+ * Write a trace to `path` (via a temp file + rename, so concurrent
+ * writers of the same path never expose a torn file).  Fatal on I/O
+ * error.
+ */
+void writeTraceFile(const std::string &path, const RecordedTrace &trace);
+
+/**
+ * Like writeTraceFile, but returns false and sets `error` on I/O
+ * failure — for best-effort spilling where a read-only or missing
+ * directory must not kill the run.
+ */
+bool tryWriteTraceFile(const std::string &path, const RecordedTrace &trace,
+                       std::string &error);
+
+/**
+ * Read a trace file; returns nullptr and sets `error` on any problem
+ * (missing file, bad magic, unsupported version, truncation, corrupt
+ * record, digest mismatch) instead of terminating.
+ */
+TracePtr tryReadTraceFile(const std::string &path, std::string &error);
+
+/** Read a trace file; fatal with a clear message on any problem. */
+TracePtr readTraceFile(const std::string &path);
+
+} // namespace rrs::trace
+
+#endif // RRS_TRACE_TRACEFILE_HH

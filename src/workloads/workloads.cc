@@ -1,5 +1,6 @@
 #include "workloads.hh"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 
@@ -105,8 +106,19 @@ program(const Workload &w)
     return it->second;
 }
 
+std::uint64_t
+sourceHash(const Workload &w)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char *p = w.source; *p; ++p) {
+        h ^= static_cast<std::uint8_t>(*p);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
 std::unique_ptr<emu::Emulator>
-makeStream(const Workload &w, std::uint64_t maxInsts)
+makeEmulator(const Workload &w, std::uint64_t maxInsts)
 {
     const isa::Program &prog = program(w);
     auto stream = std::make_unique<emu::Emulator>(prog, w.name);
@@ -115,9 +127,30 @@ makeStream(const Workload &w, std::uint64_t maxInsts)
     auto it = prog.symbols.find("warmup_done");
     if (it != prog.symbols.end())
         stream->fastForwardTo(it->second, 5'000'000);
-    stream->setMaxInsts(stream->instCount() +
-                        (maxInsts == 0 ? w.defaultMaxInsts : maxInsts));
+    stream->setMaxInsts(stream->instCount() + resolvedCap(w, maxInsts));
     return stream;
+}
+
+trace::TracePtr
+captureTrace(const Workload &w, std::uint64_t maxInsts)
+{
+    const std::uint64_t cap = resolvedCap(w, maxInsts);
+    auto e = makeEmulator(w, maxInsts);
+    std::vector<trace::DynInst> insts;
+    insts.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(cap, 1'000'000)));
+    e->setRecordHook(
+        [&insts](const trace::DynInst &di) { insts.push_back(di); });
+    e->run();
+    return std::make_shared<trace::RecordedTrace>(
+        w.name, cap, sourceHash(w), std::move(insts));
+}
+
+std::unique_ptr<trace::InstStream>
+makeStream(const Workload &w, std::uint64_t maxInsts)
+{
+    return std::make_unique<trace::ReplayStream>(
+        captureTrace(w, maxInsts));
 }
 
 } // namespace rrs::workloads

@@ -30,6 +30,7 @@
 
 #include "emu/emulator.hh"
 #include "isa/program.hh"
+#include "trace/recorded.hh"
 
 namespace rrs::workloads {
 
@@ -55,11 +56,49 @@ const Workload &workload(const std::string &name);
 const isa::Program &program(const Workload &w);
 
 /**
- * Create a fresh instruction stream for a workload.
+ * Hash of a workload's assembly source (FNV-1a).  Stamped into every
+ * RecordedTrace so spilled traces are invalidated when a kernel's
+ * source changes.
+ */
+std::uint64_t sourceHash(const Workload &w);
+
+/** The stream cap a maxInsts request resolves to (0 -> the default). */
+inline std::uint64_t
+resolvedCap(const Workload &w, std::uint64_t maxInsts)
+{
+    return maxInsts == 0 ? w.defaultMaxInsts : maxInsts;
+}
+
+/**
+ * Create a live functional emulator for a workload, fast-forwarded
+ * past its warmup phase and capped at `maxInsts` post-warmup
+ * instructions (0: workload default).  Use this when architectural
+ * state matters (oracle tests, emulator microbenchmarks); timing runs
+ * should consume traces via makeStream / the harness trace cache
+ * instead.
+ */
+std::unique_ptr<emu::Emulator> makeEmulator(const Workload &w,
+                                            std::uint64_t maxInsts = 0);
+
+/**
+ * Capture the post-warmup dynamic instruction stream of a workload
+ * into an immutable, shareable trace.  The capture runs the functional
+ * emulator once with its record hook attached; replaying the returned
+ * trace is bit-identical to pulling the emulator live.
+ */
+trace::TracePtr captureTrace(const Workload &w,
+                             std::uint64_t maxInsts = 0);
+
+/**
+ * Create a fresh instruction stream for a workload.  Built on the
+ * capture/replay layer: the workload is emulated once and the stream
+ * replays the recording, so reset() costs nothing.  Callers that run
+ * many configurations should share one capture through
+ * harness::traceCache() instead of calling this repeatedly.
  * @param maxInsts cap override; 0 uses the workload default
  */
-std::unique_ptr<emu::Emulator> makeStream(const Workload &w,
-                                          std::uint64_t maxInsts = 0);
+std::unique_ptr<trace::InstStream> makeStream(const Workload &w,
+                                              std::uint64_t maxInsts = 0);
 
 /** Suite names in canonical order. */
 const std::vector<std::string> &suiteNames();

@@ -16,7 +16,7 @@ using harness::Scheme;
 std::uint64_t
 emulatedLength(const workloads::Workload &w, std::uint64_t cap)
 {
-    auto e = workloads::makeStream(w, cap);
+    auto e = workloads::makeEmulator(w, cap);
     std::uint64_t start = e->instCount();
     e->run();
     return e->instCount() - start;

@@ -39,14 +39,14 @@ fpBits(double d)
 void
 checkLockstep(const workloads::Workload &w, rename::Renamer &renamer)
 {
-    auto stream = workloads::makeStream(w, kInsts);
+    auto stream = workloads::makeEmulator(w, kInsts);
     mem::MemSystem memsys{mem::MemSystemParams{}};
     bpred::BranchPredictor bp{bpred::BPredParams{}};
     core::O3Core core(core::CoreParams{}, renamer, memsys, bp, *stream);
     auto sim = core.run();
     EXPECT_GT(sim.committedInsts, 0u);
 
-    auto oracle = workloads::makeStream(w, kInsts);
+    auto oracle = workloads::makeEmulator(w, kInsts);
     oracle->run();
 
     EXPECT_EQ(stream->instCount(), oracle->instCount());

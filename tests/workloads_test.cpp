@@ -20,10 +20,10 @@ class EveryWorkload : public ::testing::TestWithParam<const char *>
 TEST_P(EveryWorkload, RunsToHaltDeterministically)
 {
     const Workload &w = workloads::workload(GetParam());
-    // makeStream skips the init phase (warmup) and then caps the
+    // makeEmulator skips the init phase (warmup) and then caps the
     // stream; a generous cap means the run total staying below it
     // proves the kernel halted on its own.
-    auto e1 = workloads::makeStream(w, 8'000'000);
+    auto e1 = workloads::makeEmulator(w, 8'000'000);
     std::uint64_t n1 = e1->run();
     EXPECT_LT(n1, 8'000'000u) << w.name << " did not halt";
     EXPECT_GT(n1, 100'000u) << w.name << " is too short to be meaningful";
@@ -37,7 +37,7 @@ TEST_P(EveryWorkload, RunsToHaltDeterministically)
     Addr result = workloads::program(w).symbol("result");
     std::uint64_t sum1 = e1->memory().read(result, 8);
 
-    auto e2 = workloads::makeStream(w, 8'000'000);
+    auto e2 = workloads::makeEmulator(w, 8'000'000);
     e2->run();
     EXPECT_EQ(e2->memory().read(result, 8), sum1) << w.name;
 }
@@ -66,7 +66,7 @@ TEST(WorkloadCharacter, FpSuiteHasMoreSingleUseThanIntSuite)
         double sum = 0;
         auto list = workloads::suiteWorkloads(suite);
         for (const auto &w : list) {
-            auto stream = workloads::makeStream(w, 300'000);
+            auto stream = workloads::makeEmulator(w, 300'000);
             auto rep = trace::analyzeUsage(*stream, 300'000);
             sum += rep.fracSingleConsumer();
         }
@@ -85,7 +85,7 @@ TEST(WorkloadCharacter, MostValuesHaveFewConsumers)
 {
     // Paper Figure 2: single-consumer values dominate.
     const Workload &w = workloads::workload("fp_horner");
-    auto stream = workloads::makeStream(w, 200'000);
+    auto stream = workloads::makeEmulator(w, 200'000);
     auto rep = trace::analyzeUsage(*stream, 200'000);
     EXPECT_GT(rep.fracConsumers(1), 0.4);
 }
@@ -95,7 +95,7 @@ TEST(WorkloadCharacter, SortCheckSumsSorted)
     // int_sort's checksum is first+last element of the sorted array:
     // re-derive by peeking at memory after the run.
     const Workload &w = workloads::workload("int_sort");
-    auto e = workloads::makeStream(w, 3'000'000);
+    auto e = workloads::makeEmulator(w, 3'000'000);
     e->run();
     Addr arr = workloads::program(w).symbol("arr");
     // The final round's array must be sorted ascending.
@@ -110,7 +110,7 @@ TEST(WorkloadCharacter, SortCheckSumsSorted)
 TEST(WorkloadCharacter, SieveCountsPrimes)
 {
     const Workload &w = workloads::workload("int_sieve");
-    auto e = workloads::makeStream(w, 3'000'000);
+    auto e = workloads::makeEmulator(w, 3'000'000);
     e->run();
     Addr result = workloads::program(w).symbol("result");
     // pi(32768) = 3512; the kernel accumulates over 2 rounds.
