@@ -10,7 +10,10 @@
  * sweep, then print from the in-order results.  `RRS_THREADS` caps the
  * lane count; the printed tables are bit-identical for every value of
  * it, and each bench appends a one-line throughput footer
- * (runs/s, Minst/s) so sweep speed is measurable.
+ * (runs/s, Minst/s) so sweep speed is measurable.  When rename
+ * invariant auditing is on (`RRS_AUDIT`, see rename/audit.hh) the
+ * footer adds an audit line — checks run and violations found — so a
+ * published table doubles as a self-check receipt.
  *
  * Machine-readable export: every bench calls init(argc, argv) first
  * and finish(name) last.  `--stats-json <path>` (or the RRS_STATS_JSON

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/pipetrace.hh"
+#include "rename/audit.hh"
 
 namespace rrs::core {
 
@@ -230,6 +231,8 @@ O3Core::squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
     std::uint32_t rec = renamer.squashTo(token, produced);
     if (recoveries)
         *recoveries = rec;
+    if (auditor)
+        auditor->check(renamer, "post-squash");
 
     if (tracer) {
         for (const InFlight &i : fetchQueue)
@@ -334,6 +337,9 @@ O3Core::flushAll(Cycles extraPenalty)
         fetchQueue.clear();
     }
 
+    if (auditor)
+        auditor->check(renamer, "post-flush");
+
     // Recover committed values that live in shadow cells.
     std::uint32_t committed_rec = renamer.committedShadowValues();
     Cycles rec_cycles =
@@ -383,6 +389,8 @@ O3Core::commitStage()
         }
 
         renamer.commit(head.rr);
+        if (auditor && auditEveryCommit)
+            auditor->check(renamer, "post-commit");
         if (head.di.isStore())
             memSys.dataAccess(head.di.pc, head.di.effAddr, true, now);
         if (head.di.isControl()) {
@@ -726,6 +734,8 @@ O3Core::run()
             sampler(now);
         }
         accountCycle();
+        if (auditor && auditInterval > 0 && now % auditInterval == 0)
+            auditor->check(renamer, "periodic");
 
         ++now;
         ++cycles;

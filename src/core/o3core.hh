@@ -42,6 +42,10 @@ namespace rrs::obs {
 class PipeTracer;
 }
 
+namespace rrs::rename {
+class RenameAuditor;
+}
+
 namespace rrs::core {
 
 /** The core. */
@@ -80,6 +84,25 @@ class O3Core : public stats::Group
      * stays off the profile.  Call before run().
      */
     void setTracer(obs::PipeTracer *t) { tracer = t; }
+
+    /**
+     * Attach a rename invariant auditor (rename/audit.hh).  Like the
+     * tracer, the core keeps one cached pointer and every hook site is
+     * a single never-taken branch when no auditor is attached.
+     *
+     * Trigger points: after every squash and after every exception /
+     * interrupt flush (always, whenever an auditor is attached), after
+     * each committed instruction when `everyCommit` is set, and every
+     * `interval` cycles when interval > 0.  Call before run().
+     */
+    void
+    setAuditor(rename::RenameAuditor *a, Cycles interval,
+               bool everyCommit)
+    {
+        auditor = a;
+        auditInterval = interval;
+        auditEveryCommit = everyCommit;
+    }
 
     /** Committed-IPC of the finished run. */
     const SimResult &result() const { return simResult; }
@@ -202,6 +225,9 @@ class O3Core : public stats::Group
     // Observability: cached tracer pointer (null = tracing disabled)
     // and the per-cycle attribution state consumed by accountCycle().
     obs::PipeTracer *tracer = nullptr;
+    rename::RenameAuditor *auditor = nullptr;
+    Cycles auditInterval = 0;
+    bool auditEveryCommit = false;
     std::uint32_t committedThisCycle = 0;
     enum class RenameBlock : std::uint8_t { None, NoReg, Rob, Iq, Lsq };
     RenameBlock renameBlock = RenameBlock::None;

@@ -1,6 +1,7 @@
 #include "experiment.hh"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "common/threadpool.hh"
@@ -8,8 +9,50 @@
 #include "harness/tracecache.hh"
 #include "obs/pipetrace.hh"
 #include "obs/sampler.hh"
+#include "rename/audit.hh"
 
 namespace rrs::harness {
+
+namespace {
+
+/**
+ * The process-wide audit default from RRS_AUDIT: -1 when the variable
+ * is unset, otherwise its value (0 disables, 1 audits every commit,
+ * N > 1 audits every N cycles).  Parsed during static initialisation
+ * so a malformed value dies cleanly before any sweep worker starts
+ * (rrs_fatal from inside a pool thread would race process teardown).
+ */
+const long long envAuditDefault = [] {
+    const char *env = std::getenv("RRS_AUDIT");
+    if (!env)
+        return -1LL;
+    char *end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0)
+        rrs_fatal("RRS_AUDIT must be a non-negative integer, got '%s'",
+                  env);
+    return v;
+}();
+
+/** Resolve a run's audit interval (0 = auditing off). */
+Cycles
+resolveAuditInterval(const ObsOptions &obs)
+{
+    if (obs.auditDisabled)
+        return 0;
+    if (obs.auditInterval > 0)
+        return obs.auditInterval;
+    if (envAuditDefault >= 0)
+        return static_cast<Cycles>(envAuditDefault);
+#ifndef NDEBUG
+    // Assert-enabled builds self-check at every commit by default.
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+} // namespace
 
 Outcome
 runOn(const workloads::Workload &w, const RunConfig &config,
@@ -40,6 +83,13 @@ runOn(const workloads::Workload &w, const RunConfig &config,
     if (!config.obs.pipeTracePath.empty()) {
         tracer = std::make_unique<obs::PipeTracer>(config.obs.pipeTracePath);
         core.setTracer(tracer.get());
+    }
+
+    std::unique_ptr<rename::RenameAuditor> auditor;
+    const Cycles auditEvery = resolveAuditInterval(config.obs);
+    if (auditEvery > 0) {
+        auditor = std::make_unique<rename::RenameAuditor>();
+        core.setAuditor(auditor.get(), auditEvery, auditEvery == 1);
     }
 
     Outcome out;
@@ -94,11 +144,17 @@ runOn(const workloads::Workload &w, const RunConfig &config,
         out.reuses = reuse->reuseCount();
         out.repairs = reuse->repairCount();
         out.renameStalls = reuse->stallCount();
+        out.historyPeak = static_cast<double>(reuse->historyPeakEntries());
         out.fig12 = reuse->fig12Counts();
     } else {
         auto *base = static_cast<rename::BaselineRenamer *>(renamer.get());
         out.allocations = base->allocationCount();
         out.renameStalls = base->stallCount();
+        out.historyPeak = static_cast<double>(base->historyPeakEntries());
+    }
+    if (auditor) {
+        out.auditsRun = auditor->auditCount();
+        out.auditViolations = auditor->violationCount();
     }
     return out;
 }

@@ -44,6 +44,21 @@ struct ObsOptions
 
     /** Non-empty: write the sampled occupancy time series as CSV. */
     std::string timeseriesCsvPath;
+
+    /**
+     * Rename invariant auditing (rename/audit.hh).  0 defers to the
+     * RRS_AUDIT environment variable (and, in assert-enabled builds
+     * where RRS_AUDIT is unset, defaults to every-commit auditing); a
+     * positive value forces auditing on: 1 audits after every
+     * committed instruction, N > 1 audits every N cycles.  Post-squash
+     * and post-flush audits always run whenever auditing is on.  Any
+     * violation panics with the structured report, so it can never
+     * silently skew a published table.
+     */
+    Cycles auditInterval = 0;
+
+    /** Force auditing off even if RRS_AUDIT / the debug default set it. */
+    bool auditDisabled = false;
 };
 
 /** Which renamer a run uses. */
@@ -78,7 +93,14 @@ struct Outcome
     double reuses = 0;           //!< reuse scheme
     double repairs = 0;          //!< reuse scheme
     double renameStalls = 0;
+    double historyPeak = 0;      //!< peak rename-history entries
     rename::ReuseRenamer::Fig12Counts fig12;   //!< reuse scheme
+
+    // Invariant auditing (0 audits when auditing is off; violations
+    // can only be non-zero transiently in tests — the harness check()
+    // path panics on the first one).
+    double auditsRun = 0;
+    double auditViolations = 0;
 
     /**
      * Full-cycle stall attribution: every cycle of the run charged to

@@ -37,7 +37,11 @@ SweepRunner::SweepRunner(unsigned threads)
       traceCacheHits(this, "trace_cache_hits",
                      "sweep runs served from the trace cache"),
       traceCacheMisses(this, "trace_cache_misses",
-                       "sweep runs that captured their trace")
+                       "sweep runs that captured their trace"),
+      auditChecks(this, "audit_checks",
+                  "rename invariant audits across the sweep"),
+      auditViolations(this, "audit_violations",
+                      "rename invariant violations across the sweep")
 {
     if (const char *env = std::getenv("RRS_PIPETRACE"))
         tracePrefix = env;
@@ -128,6 +132,13 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         static_cast<double>(cacheAfter.hits - cacheBefore.hits);
     traceCacheMisses =
         static_cast<double>(cacheAfter.misses - cacheBefore.misses);
+    double audits = 0, auditBad = 0;
+    for (const auto &r : results) {
+        audits += r.outcome.auditsRun;
+        auditBad += r.outcome.auditViolations;
+    }
+    auditChecks = audits;
+    auditViolations = auditBad;
 
     lastSummary = SweepSummary{};
     lastSummary.threads = pool.numThreads();
@@ -147,6 +158,8 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         cacheAfter.capturedInsts - cacheBefore.capturedInsts;
     lastSummary.instsReplayed =
         cacheAfter.replayedInsts - cacheBefore.replayedInsts;
+    lastSummary.auditsRun = static_cast<std::uint64_t>(audits);
+    lastSummary.auditViolations = static_cast<std::uint64_t>(auditBad);
     return results;
 }
 
@@ -186,6 +199,18 @@ SweepRunner::printSummary(std::ostream &os) const
                   static_cast<double>(s.instsCaptured) / 1e6,
                   static_cast<double>(s.instsReplayed) / 1e6);
     os << buf;
+    // Only mention auditing when it actually ran (RRS_AUDIT / debug
+    // builds): zero violations here is a per-sweep self-check receipt.
+    if (s.auditsRun > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "rename audit: %llu invariant check%s, "
+                      "%llu violation%s\n",
+                      static_cast<unsigned long long>(s.auditsRun),
+                      s.auditsRun == 1 ? "" : "s",
+                      static_cast<unsigned long long>(s.auditViolations),
+                      s.auditViolations == 1 ? "" : "s");
+        os << buf;
+    }
 }
 
 } // namespace rrs::harness

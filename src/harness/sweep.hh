@@ -78,6 +78,12 @@ struct SweepSummary
     std::uint64_t instsCaptured = 0;
     std::uint64_t instsReplayed = 0;
 
+    // Rename invariant auditing across the sweep's runs (rename/audit
+    // + RRS_AUDIT).  Zero audits means auditing was off; violations
+    // stay zero or the offending run already panicked.
+    std::uint64_t auditsRun = 0;
+    std::uint64_t auditViolations = 0;
+
     double
     runsPerSec() const
     {
@@ -177,6 +183,11 @@ class SweepRunner : public stats::Group
     stats::Scalar traceReplayInsts;
     stats::Scalar traceCacheHits;
     stats::Scalar traceCacheMisses;
+
+    // Rename-audit totals of the most recent run() (summed post-join
+    // from the per-run Outcomes, so the count is schedule-independent).
+    stats::Scalar auditChecks;
+    stats::Scalar auditViolations;
 };
 
 /** Convenience builder. */

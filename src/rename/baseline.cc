@@ -8,6 +8,8 @@ BaselineRenamer::BaselineRenamer(const BaselineParams &params,
                                  stats::Group *parent)
     : Renamer("rename", parent), params(params),
       allocations(this, "allocations", "physical registers allocated"),
+      historyPeak(this, "historyPeak",
+                  "largest rename-history footprint (entries)"),
       releases(this, "releases", "physical registers released"),
       renameStalls(this, "renameStalls", "stalls due to empty free list")
 {
@@ -86,6 +88,12 @@ BaselineRenamer::rename(
         history.push_back(HistoryEntry{di.si.dest.cls, di.si.dest.idx,
                                        old, fresh, old});
         ++nextToken;
+        if (history.size() > historyPeakSinceShrink)
+            historyPeakSinceShrink = history.size();
+        if (history.size() > historyPeakCount) {
+            historyPeakCount = history.size();
+            historyPeak = static_cast<double>(historyPeakCount);
+        }
 
         res.hasDest = true;
         res.destTag = PhysRegTag{di.si.dest.cls, fresh, 0};
@@ -112,6 +120,12 @@ BaselineRenamer::commit(const RenameResult &result)
         ++releases;
         history.pop_front();
         ++historyBase;
+    }
+    // Bound committed storage after a drain, as in ReuseRenamer.
+    if (history.empty() &&
+        historyPeakSinceShrink > historyShrinkThreshold) {
+        history.shrink_to_fit();
+        historyPeakSinceShrink = 0;
     }
 }
 

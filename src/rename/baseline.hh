@@ -17,6 +17,8 @@
 
 namespace rrs::rename {
 
+class RenameAuditor;
+
 /** Baseline renamer configuration. */
 struct BaselineParams
 {
@@ -54,7 +56,11 @@ class BaselineRenamer : public Renamer
     double allocationCount() const { return allocations.value(); }
     double stallCount() const { return renameStalls.value(); }
 
+    /** Largest number of history entries ever held at once. */
+    std::uint64_t historyPeakEntries() const { return historyPeakCount; }
+
   private:
+    friend class RenameAuditor;
     struct HistoryEntry
     {
         RegClass cls;
@@ -86,8 +92,13 @@ class BaselineRenamer : public Renamer
     std::deque<HistoryEntry> history;
     HistoryToken historyBase = 0;   //!< token of history.front()
     HistoryToken nextToken = 0;
+    std::uint64_t historyPeakCount = 0;      //!< lifetime peak size
+    std::size_t historyPeakSinceShrink = 0;  //!< peak since last trim
+    /** Committed-storage bound; see ReuseRenamer's twin. */
+    static constexpr std::size_t historyShrinkThreshold = 4096;
 
     stats::Scalar allocations;
+    stats::Scalar historyPeak;
     stats::Scalar releases;
     stats::Scalar renameStalls;
 };

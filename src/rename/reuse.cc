@@ -11,6 +11,8 @@ ReuseRenamer::ReuseRenamer(const ReuseRenamerParams &params,
     : Renamer("rename", parent), params(params),
       typePred(params.predictor, this),
       allocations(this, "allocations", "fresh physical registers allocated"),
+      historyPeak(this, "historyPeak",
+                  "largest rename-history footprint (entries)"),
       reuses(this, "reuses", "destinations renamed by register sharing"),
       reuseDepthDist(this, "reuseDepth", "version reached by each reuse"),
       renameStalls(this, "renameStalls",
@@ -136,7 +138,8 @@ PhysRegIndex
 ReuseRenamer::allocFromBank(RegClass cls, std::uint8_t wantBank)
 {
     ClassState &st = state(cls);
-    // Closest-first search; ties resolved towards cheaper banks.
+    // Closest-first search in shadow-capacity order; ties resolved
+    // towards cheaper banks (fewer shadow cells).
     for (int dist = 0; dist < 4; ++dist) {
         for (int sign : {-1, +1}) {
             int b = static_cast<int>(wantBank) + sign * dist;
@@ -152,7 +155,23 @@ ReuseRenamer::allocFromBank(RegClass cls, std::uint8_t wantBank)
                 break;   // +0 and -0 are the same bank
         }
     }
-    rrs_panic("allocFromBank called with no free register");
+    // Exhausted: hand the caller an invalid index instead of dying.
+    // rename() unwinds its partial work and reports a structural
+    // stall, which the core charges to renameStallNoReg.
+    return invalidRegIndex;
+}
+
+void
+ReuseRenamer::pushHistory(const HistoryEntry &h)
+{
+    history.push_back(h);
+    ++nextToken;
+    if (history.size() > historyPeakSinceShrink)
+        historyPeakSinceShrink = history.size();
+    if (history.size() > historyPeakCount) {
+        historyPeakCount = history.size();
+        historyPeak = static_cast<double>(historyPeakCount);
+    }
 }
 
 void
@@ -235,8 +254,7 @@ ReuseRenamer::specMapWrite(RegClass cls, LogRegIndex logReg,
         h.cls = cls;
         h.logReg = logReg;
         h.prevEntry = old;
-        history.push_back(h);
-        ++nextToken;
+        pushHistory(h);
     }
     st.specMap[logReg] = entry;
     ++st.prt[entry.tag.reg].specRefs;
@@ -373,7 +391,18 @@ ReuseRenamer::rename(
             producerExecuted ? producerExecuted(current) : true;
         auto uops = static_cast<std::uint8_t>(executed ? 3 : 1);
 
-        // Detection resets the mispredicting predictor entry.
+        // Detection marks the shared register multi-use and resets the
+        // mispredicting predictor entry.  The multi-use flag is
+        // speculative state: record it so a squash of this instruction
+        // restores it exactly (the predictor reset is deliberately not
+        // undone — like branch-predictor state, training on squashed
+        // work is harmless noise).
+        HistoryEntry mark;
+        mark.kind = HistKind::RepairMark;
+        mark.cls = cls;
+        mark.phys = info.cur.tag.reg;
+        mark.prevMultiUse = shared.multiUse;
+        pushHistory(mark);
         shared.multiUse = true;
         if (shared.predIndex != noPred) {
             typePred.trainOnRelease(shared.predIndex, shared.bank,
@@ -382,6 +411,19 @@ ReuseRenamer::rename(
 
         PhysRegIndex fresh =
             allocFromBank(cls, typePred.predict(di.pc));
+        if (fresh == invalidRegIndex) {
+            // Unreachable via the Phase-1 feasibility check, but a
+            // guarded fallback beats a panic: undo the partial work
+            // (and its stats) and report a structural stall.
+            squashTo(res.token);
+            repairEvents += -static_cast<double>(res.numRepairs);
+            repairUopsTotal += -static_cast<double>(res.repairUops);
+            ++renameStalls;
+            RenameResult stall;
+            stall.token = res.token;
+            stall.endToken = res.token;
+            return stall;
+        }
         PrtEntry &fe = st.prt[fresh];
         fe.allocated = true;
         fe.predIndex = typePred.indexFor(di.pc);
@@ -415,8 +457,8 @@ ReuseRenamer::rename(
         h.phys = info.cur.tag.reg;
         h.prevReadBit = e.readBit;
         h.prevUses = e.usesCurVersion;
-        history.push_back(h);
-        ++nextToken;
+        h.prevReuseImpossible = e.reuseImpossible;
+        pushHistory(h);
 
         info.wasFirstConsumer = !e.readBit;
         e.readBit = true;
@@ -462,8 +504,7 @@ ReuseRenamer::rename(
             h.prevUses = e.usesCurVersion;
             h.staleLogReg = (info.reg == destReg) ? invalidRegIndex
                                                   : info.reg.idx;
-            history.push_back(h);
-            ++nextToken;
+            pushHistory(h);
 
             std::uint8_t newVersion =
                 static_cast<std::uint8_t>(e.counter + 1);
@@ -497,6 +538,20 @@ ReuseRenamer::rename(
             }
             PhysRegIndex fresh =
                 allocFromBank(cls, typePred.predict(di.pc));
+            if (fresh == invalidRegIndex) {
+                // See the repair-loop fallback: unwind and stall
+                // instead of panicking on an empty class.
+                squashTo(res.token);
+                repairEvents += -static_cast<double>(res.numRepairs);
+                repairUopsTotal += -static_cast<double>(res.repairUops);
+                if (exhaustedSrc >= 0)
+                    shadowExhausted += -1.0;
+                ++renameStalls;
+                RenameResult stall;
+                stall.token = res.token;
+                stall.endToken = res.token;
+                return stall;
+            }
             PrtEntry &fe = st.prt[fresh];
             fe.allocated = true;
             fe.predIndex = typePred.indexFor(di.pc);
@@ -523,6 +578,15 @@ ReuseRenamer::commit(const RenameResult &result)
         rrs_assert(!history.empty(), "history underflow at commit");
         history.pop_front();
         ++historyBase;
+    }
+    // Bound committed storage: after draining a spike (a long ROB
+    // stall grows the deque far past its steady state), return the
+    // spare chunks to the allocator rather than carrying the peak
+    // footprint for the rest of the run.
+    if (history.empty() &&
+        historyPeakSinceShrink > historyShrinkThreshold) {
+        history.shrink_to_fit();
+        historyPeakSinceShrink = 0;
     }
 
     // Retirement map: repairs first (older), then the destination.
@@ -563,8 +627,13 @@ ReuseRenamer::squashTo(
             PrtEntry &e = st.prt[h.phys];
             e.readBit = h.prevReadBit;
             e.usesCurVersion = h.prevUses;
-            if (e.totalUses > 0)
-                --e.totalUses;
+            e.reuseImpossible = h.prevReuseImpossible;
+            // Exact inverse of the unguarded ++ at rename: a register
+            // with a live SrcRead entry cannot have been released
+            // (in-order commit pops the entry first), so the count
+            // must still include this read.
+            rrs_assert(e.totalUses > 0, "source-read undo underflow");
+            --e.totalUses;
             break;
           }
           case HistKind::MapWrite: {
@@ -591,9 +660,57 @@ ReuseRenamer::squashTo(
                 st.specMap[h.staleLogReg].stale = false;
             break;
           }
+          case HistKind::RepairMark: {
+            st.prt[h.phys].multiUse = h.prevMultiUse;
+            break;
+          }
         }
     }
     return recoveries;
+}
+
+bool
+ReuseRenamer::injectFault(InjectedFault fault, RegClass cls)
+{
+    ClassState &st = state(cls);
+    switch (fault) {
+      case InjectedFault::FlipReadBit:
+        for (auto &e : st.prt) {
+            if (e.allocated) {
+                e.readBit = !e.readBit;
+                return true;
+            }
+        }
+        return false;
+      case InjectedFault::LeakFreeReg:
+        for (auto &fl : st.freeLists) {
+            if (!fl.empty()) {
+                fl.pop_back();   // discarded: now in neither place
+                return true;
+            }
+        }
+        return false;
+      case InjectedFault::SkipRefDrop:
+        // The bug this models: a map write whose dropSpecRef never
+        // ran, leaving the old register's count one too high.
+        for (LogRegIndex r = 0; r < isa::numLogRegs; ++r) {
+            PhysRegIndex p = st.specMap[r].tag.reg;
+            if (p < st.total) {
+                ++st.prt[p].specRefs;
+                return true;
+            }
+        }
+        return false;
+      case InjectedFault::DoubleFree:
+        for (auto &fl : st.freeLists) {
+            if (!fl.empty()) {
+                fl.push_back(fl.back());
+                return true;
+            }
+        }
+        return false;
+    }
+    return false;
 }
 
 } // namespace rrs::rename

@@ -43,6 +43,8 @@
 
 namespace rrs::rename {
 
+class RenameAuditor;
+
 /** Per-class bank sizes: index == number of embedded shadow cells. */
 using BankConfig = std::array<std::uint32_t, 4>;
 
@@ -147,7 +149,27 @@ class ReuseRenamer : public Renamer
      */
     std::uint32_t committedShadowValues() const;
 
+    /** Largest number of history entries ever held at once. */
+    std::uint64_t historyPeakEntries() const { return historyPeakCount; }
+
+    /**
+     * Fault-injection seam for the invariant auditor's own tests.
+     * Each fault class corrupts the bookkeeping the way a real
+     * release-policy bug would; the auditor must catch every one
+     * (tests/rename_audit_test.cpp).  Never called outside tests.
+     */
+    enum class InjectedFault : std::uint8_t {
+        FlipReadBit,   //!< toggle an allocated register's PRT read bit
+        LeakFreeReg,   //!< pop a free-list entry and drop it on the floor
+        SkipRefDrop,   //!< leave a stale spec refcount behind
+        DoubleFree,    //!< push an already-free register again
+    };
+
+    /** @return false if the current state offers no injection target. */
+    bool injectFault(InjectedFault fault, RegClass cls = RegClass::Int);
+
   private:
+    friend class RenameAuditor;
     static constexpr std::uint32_t noPred = 0xffffffff;
 
     /** PRT entry plus model bookkeeping. */
@@ -187,17 +209,23 @@ class ReuseRenamer : public Renamer
         SrcRead,     //!< read-bit / use-count change on a source
         MapWrite,    //!< speculative map update (alloc, reuse or repair)
         ReuseBump,   //!< PRT counter increment on a reuse
+        RepairMark,  //!< repair detection flagged the shared register
     };
 
     struct HistoryEntry
     {
         HistKind kind;
         RegClass cls;
-        // SrcRead / ReuseBump: the physical register.
+        // SrcRead / ReuseBump / RepairMark: the physical register.
         PhysRegIndex phys = invalidRegIndex;
         // SrcRead: previous state.
         bool prevReadBit = false;
         std::uint8_t prevUses = 0;
+        // SrcRead: training-hint flag before this read (a squashed
+        // first read must not leave the hint behind).
+        bool prevReuseImpossible = false;
+        // RepairMark: multi-use flag before the repair detection.
+        bool prevMultiUse = false;
         // MapWrite: the logical register and its previous entry.
         LogRegIndex logReg = invalidRegIndex;
         MapEntry prevEntry;
@@ -245,6 +273,9 @@ class ReuseRenamer : public Renamer
     void specMapWrite(RegClass cls, LogRegIndex logReg, MapEntry entry,
                       bool fromSquash);
 
+    /** Append a history entry, tracking the peak footprint. */
+    void pushHistory(const HistoryEntry &h);
+
     ReuseRenamerParams params;
     ClassState classes[numRegClasses];
     RegisterTypePredictor typePred;
@@ -252,8 +283,17 @@ class ReuseRenamer : public Renamer
     std::deque<HistoryEntry> history;
     HistoryToken historyBase = 0;
     HistoryToken nextToken = 0;
+    std::uint64_t historyPeakCount = 0;      //!< lifetime peak size
+    std::size_t historyPeakSinceShrink = 0;  //!< peak since last trim
+    /**
+     * Committed-storage bound: once the deque drains after having
+     * grown past this many entries (a long ROB stall), give the spare
+     * chunks back instead of carrying the peak footprint forever.
+     */
+    static constexpr std::size_t historyShrinkThreshold = 4096;
 
     stats::Scalar allocations;
+    stats::Scalar historyPeak;
     stats::Scalar reuses;
     stats::Distribution reuseDepthDist;
     stats::Scalar renameStalls;
