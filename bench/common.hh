@@ -19,7 +19,15 @@
  * and finish(name) last.  `--stats-json <path>` (or the RRS_STATS_JSON
  * environment variable) makes finish() dump the sweep's stats group as
  * JSON to that path, so scripts can consume a bench without scraping
- * its tables.
+ * its tables.  `--bench-json <dir>` (or RRS_BENCH_JSON) additionally
+ * records a versioned BENCH_<name>.json perf baseline
+ * (harness/benchjson.hh) for the rrs-benchdiff regression gate; both
+ * exports create missing parent directories and write atomically
+ * (tmp+rename).  `--prof` (or RRS_PROF=1) turns on the host-side phase
+ * profiler (obs/profiler.hh) and makes finish() print its report;
+ * `--cap <insts>` overrides the default per-run timing length for
+ * quick CI smoke runs (the printed tables then differ from the paper's,
+ * but stay deterministic for that cap).
  */
 
 #ifndef RRS_BENCH_COMMON_HH
@@ -28,17 +36,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 
+#include "common/atomicfile.hh"
 #include "common/threadpool.hh"
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
 #include "harness/tracecache.hh"
+#include "obs/profiler.hh"
 #include "stats/table.hh"
 #include "trace/analysis.hh"
 #include "trace/recorded.hh"
@@ -48,6 +59,18 @@ namespace rrs::bench {
 
 /** Default timing-run length per workload (post-warmup). */
 constexpr std::uint64_t timingInsts = 150'000;
+
+/**
+ * The timing-run length this invocation actually uses: timingInsts
+ * unless `--cap <insts>` shortened it (CI smoke runs trade table
+ * fidelity for wall clock; the results stay deterministic per cap).
+ */
+inline std::uint64_t &
+capInsts()
+{
+    static std::uint64_t insts = timingInsts;
+    return insts;
+}
 
 /** Default analysis window per workload. */
 constexpr std::uint64_t analysisInsts = 300'000;
@@ -82,6 +105,14 @@ statsJsonPath()
 {
     static std::string path;
     return path;
+}
+
+/** Directory finish() records BENCH_<name>.json into ("" = disabled). */
+inline std::string &
+benchJsonDir()
+{
+    static std::string dir;
+    return dir;
 }
 
 /** `--suite <name>` filter ("" = all suites). */
@@ -138,22 +169,43 @@ selectedWorkloads()
 /**
  * Standard bench option handling; call first in every main().  Parses
  * `--stats-json <path>` (the RRS_STATS_JSON environment variable is
- * the default), `--suite <name>` and `--workload <substr>` (subset
- * selection for quick iteration; see selectedWorkloads()), and returns
- * the arguments it did not consume, in order, for the bench's own
- * flags (e.g. fig10's --quick).
+ * the default), `--bench-json <dir>` (default RRS_BENCH_JSON; the
+ * perf-baseline recorder), `--prof` (host phase profiler, also
+ * RRS_PROF=1), `--cap <insts>` (shortened timing runs), `--suite
+ * <name>` and `--workload <substr>` (subset selection for quick
+ * iteration; see selectedWorkloads()), and returns the arguments it
+ * did not consume, in order, for the bench's own flags (e.g. fig10's
+ * --quick).
  */
 inline std::vector<std::string>
 init(int argc, char **argv)
 {
     if (const char *env = std::getenv("RRS_STATS_JSON"))
         statsJsonPath() = env;
+    if (const char *env = std::getenv("RRS_BENCH_JSON"))
+        benchJsonDir() = env;
     std::vector<std::string> rest;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--stats-json") == 0) {
             if (i + 1 >= argc)
                 rrs_fatal("--stats-json needs a path argument");
             statsJsonPath() = argv[++i];
+        } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+            if (i + 1 >= argc)
+                rrs_fatal("--bench-json needs a directory argument");
+            benchJsonDir() = argv[++i];
+        } else if (std::strcmp(argv[i], "--prof") == 0) {
+            obs::Profiler::setEnabled(true);
+        } else if (std::strcmp(argv[i], "--cap") == 0) {
+            if (i + 1 >= argc)
+                rrs_fatal("--cap needs an instruction-count argument");
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v == 0)
+                rrs_fatal("--cap must be a positive integer, got '%s'",
+                          argv[i]);
+            capInsts() = static_cast<std::uint64_t>(v);
         } else if (std::strcmp(argv[i], "--suite") == 0) {
             if (i + 1 >= argc)
                 rrs_fatal("--suite needs a suite name argument");
@@ -177,27 +229,53 @@ init(int argc, char **argv)
 
 /**
  * Standard bench epilogue; call last in every main().  Prints the
- * sweep throughput footer (when the bench ran any sweep) and, when
- * configured via init(), writes the sweep stats group as
- * `{"bench": <name>, "sweep": {...}}` JSON.
+ * sweep throughput footer (when the bench ran any sweep), the phase
+ * profiler report (when profiling is on), and the machine-readable
+ * exports configured via init(): the sweep stats group as
+ * `{"bench": <name>, "sweep": {...}}` JSON, and/or the versioned
+ * BENCH_<name>.json perf baseline.  Both writes are atomic
+ * (tmp+rename) and create missing parent directories, so pointing
+ * them into a fresh CI artifact directory just works.
  */
 inline void
 finish(const std::string &name)
 {
     if (sweeper().summary().runs > 0)
         sweepFooter();
+    if (obs::Profiler::enabled())
+        obs::Profiler::instance().report(std::cout);
+
     const std::string &path = statsJsonPath();
-    if (path.empty())
-        return;
-    std::ofstream os(path);
-    if (!os)
-        rrs_fatal("cannot open stats JSON file '%s'", path.c_str());
-    os << "{\n  \"bench\": \"" << name << "\",\n  \"sweep\": ";
-    sweeper().dumpJson(os, 2);
-    os << ",\n  \"trace_cache\": ";
-    harness::traceCache().dumpJson(os, 2);
-    os << "\n}\n";
-    std::printf("stats json: %s\n", path.c_str());
+    if (!path.empty()) {
+        std::ostringstream os;
+        os << "{\n  \"bench\": \"" << name << "\",\n  \"sweep\": ";
+        sweeper().dumpJson(os, 2);
+        os << ",\n  \"trace_cache\": ";
+        harness::traceCache().dumpJson(os, 2);
+        if (obs::Profiler::enabled()) {
+            os << ",\n  \"prof\": ";
+            obs::Profiler::instance().dumpJson(os, 2);
+        }
+        os << "\n}\n";
+        std::string error;
+        if (!tryWriteFileAtomic(path, os.str(), error))
+            rrs_fatal("cannot write stats JSON file '%s': %s",
+                      path.c_str(), error.c_str());
+        std::printf("stats json: %s\n", path.c_str());
+    }
+
+    const std::string &dir = benchJsonDir();
+    if (!dir.empty()) {
+        const std::string file =
+            dir + "/" + harness::benchJsonFileName(name);
+        harness::BenchResult r =
+            harness::collectBenchResult(name, sweeper());
+        std::string error;
+        if (!harness::tryWriteBenchJson(file, r, error))
+            rrs_fatal("cannot write bench JSON file '%s': %s",
+                      file.c_str(), error.c_str());
+        std::printf("bench json: %s\n", file.c_str());
+    }
 }
 
 /** Print a bench banner. */
@@ -258,8 +336,10 @@ inline std::vector<std::vector<OutcomePair>>
 outcomeGrid(const std::vector<workloads::Workload> &ws,
             const std::vector<std::uint32_t> &sizes,
             bool paperPreset = false,
-            std::uint64_t insts = timingInsts)
+            std::uint64_t insts = 0)
 {
+    if (insts == 0)
+        insts = capInsts();
     std::vector<harness::SweepItem> items;
     items.reserve(ws.size() * sizes.size() * 2);
     for (const auto &w : ws) {
@@ -295,8 +375,10 @@ outcomeGrid(const std::vector<workloads::Workload> &ws,
 inline std::vector<double>
 geomeanSpeedups(const std::vector<harness::RunConfig> &propConfigs,
                 std::uint32_t baselineRegs,
-                std::uint64_t insts = timingInsts)
+                std::uint64_t insts = 0)
 {
+    if (insts == 0)
+        insts = capInsts();
     const auto ws = selectedWorkloads();
     std::vector<harness::SweepItem> items;
     items.reserve(ws.size() * (propConfigs.size() + 1));

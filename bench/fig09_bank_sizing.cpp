@@ -44,7 +44,7 @@ main(int argc, char **argv)
     cfg.scheme = harness::Scheme::Reuse;
     cfg.reuse.intBanks = {32, 0, 0, 96};
     cfg.reuse.fpBanks = {32, 0, 0, 96};
-    cfg.maxInsts = bench::timingInsts;
+    cfg.maxInsts = bench::capInsts();
 
     const auto ws =
         bench::filterWorkloads(workloads::suiteWorkloads("specfp"));

@@ -30,7 +30,7 @@ main(int argc, char **argv)
     items.reserve(all.size());
     for (const auto &w : all) {
         auto cfg = harness::reuseConfig(64);
-        cfg.maxInsts = bench::timingInsts;
+        cfg.maxInsts = bench::capInsts();
         items.push_back(harness::sweepItem(w, cfg));
     }
     auto outs = bench::sweeper().outcomes(items);

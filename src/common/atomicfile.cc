@@ -1,0 +1,64 @@
+#include "atomicfile.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace rrs {
+
+bool
+ensureParentDir(const std::string &path, std::string &error)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        return true;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+        error = "cannot create directory '" + parent.string() +
+                "': " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+bool
+tryWriteFileAtomic(const std::string &path, std::string_view contents,
+                   std::string &error, bool createParents)
+{
+    if (createParents && !ensureParentDir(path, error))
+        return false;
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            error = "cannot open '" + tmp + "' for writing";
+            return false;
+        }
+        os.write(contents.data(),
+                 static_cast<std::streamsize>(contents.size()));
+        if (!os) {
+            error = "short write to '" + tmp + "'";
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "cannot rename '" + tmp + "' to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+void
+writeFileAtomic(const std::string &path, std::string_view contents)
+{
+    std::string error;
+    if (!tryWriteFileAtomic(path, contents, error))
+        rrs_fatal("%s", error.c_str());
+}
+
+} // namespace rrs

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Atomic file writes: the tmp+rename idiom the trace codec introduced,
+ * factored out so every writer of machine-readable artifacts (trace
+ * spills, --stats-json exports, BENCH_*.json baselines) shares one
+ * implementation.  A crash or concurrent writer can never leave a
+ * half-written file at the destination path, and missing parent
+ * directories are created instead of failing.
+ */
+
+#ifndef RRS_COMMON_ATOMICFILE_HH
+#define RRS_COMMON_ATOMICFILE_HH
+
+#include <string>
+#include <string_view>
+
+namespace rrs {
+
+/**
+ * Create every missing parent directory of `path`.
+ * @return false (with `error` set) when creation fails; a path with no
+ *         directory component trivially succeeds.
+ */
+bool ensureParentDir(const std::string &path, std::string &error);
+
+/**
+ * Write `contents` to `path` atomically: bytes go to "<path>.tmp", and
+ * the temp file is renamed over the destination only after a complete
+ * write.  Readers therefore see either the old file or the whole new
+ * one, never a prefix.
+ * @param createParents true: create missing parent directories first
+ *        (the JSON exporters); false: a missing directory is a write
+ *        failure (the trace-cache spill path, where a missing
+ *        RRS_TRACE_DIR deliberately disables spilling).
+ * @return false with `error` set on any failure (the temp file may be
+ *         left behind; the destination is untouched).
+ */
+bool tryWriteFileAtomic(const std::string &path, std::string_view contents,
+                        std::string &error, bool createParents = true);
+
+/** tryWriteFileAtomic() that fatals with the error message instead. */
+void writeFileAtomic(const std::string &path, std::string_view contents);
+
+} // namespace rrs
+
+#endif // RRS_COMMON_ATOMICFILE_HH

@@ -1,0 +1,463 @@
+#include "benchjson.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomicfile.hh"
+#include "common/logging.hh"
+#include "obs/jsonlite.hh"
+#include "obs/profiler.hh"
+
+namespace rrs::harness {
+
+namespace {
+
+#ifndef RRS_BUILD_TYPE
+#define RRS_BUILD_TYPE "unknown"
+#endif
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(ch));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    appendEscaped(out, s);
+    out += "\"";
+    return out;
+}
+
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Exact u64 from a jsonlite double (exact up to 2^53 — plenty). */
+std::uint64_t
+asU64(const obs::json::Value &v)
+{
+    return static_cast<std::uint64_t>(v.num);
+}
+
+/** Percent delta of `cur` vs `base`; 0 when the base is zero. */
+double
+pctDelta(double base, double cur)
+{
+    return base != 0 ? 100.0 * (cur - base) / base : 0.0;
+}
+
+/** Collect the merged per-run phase table from the profiler. */
+void
+collectPhases(const obs::PhaseNode &node, const std::string &prefix,
+              std::vector<BenchResult::PhaseRow> &out)
+{
+    const obs::Profiler &prof = obs::Profiler::instance();
+    for (const auto &c : node.children) {
+        const std::string path =
+            prefix.empty() ? c->name : prefix + "/" + c->name;
+        BenchResult::PhaseRow row;
+        row.path = path;
+        row.count = c->count;
+        row.seconds = c->seconds;
+        row.p50Us = prof.runPercentileUs(path, 50);
+        row.p95Us = prof.runPercentileUs(path, 95);
+        row.maxUs = prof.runPercentileUs(path, 100);
+        out.push_back(std::move(row));
+        collectPhases(*c, path, out);
+    }
+}
+
+/** One row of the diff table, ready for text or markdown layout. */
+struct DiffRow
+{
+    std::string workload;
+    std::string scheme;
+    std::string metric;
+    std::string baseVal;
+    std::string curVal;
+    std::string delta;
+};
+
+void
+printDiffTable(std::ostream &os, const std::vector<DiffRow> &rows,
+               bool markdown)
+{
+    if (markdown) {
+        os << "| workload | scheme | metric | baseline | current "
+           << "| delta |\n"
+           << "|---|---|---|---:|---:|---:|\n";
+        for (const auto &r : rows) {
+            os << "| " << r.workload << " | " << r.scheme << " | "
+               << r.metric << " | " << r.baseVal << " | " << r.curVal
+               << " | " << r.delta << " |\n";
+        }
+        return;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "  %-14s %-9s %-9s %14s %14s %12s\n",
+                  "workload", "scheme", "metric", "baseline", "current",
+                  "delta");
+    os << buf;
+    for (const auto &r : rows) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-14s %-9s %-9s %14s %14s %12s\n",
+                      r.workload.c_str(), r.scheme.c_str(),
+                      r.metric.c_str(), r.baseVal.c_str(),
+                      r.curVal.c_str(), r.delta.c_str());
+        os << buf;
+    }
+}
+
+std::string
+u64Str(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+signedDelta(std::uint64_t base, std::uint64_t cur)
+{
+    const long long d = static_cast<long long>(cur) -
+                        static_cast<long long>(base);
+    return (d >= 0 ? "+" : "") + std::to_string(d);
+}
+
+} // namespace
+
+std::string
+currentGitSha()
+{
+    if (const char *env = std::getenv("GITHUB_SHA"))
+        return env;
+    // Best effort outside CI; any failure degrades to "unknown".
+    if (FILE *p = ::popen("git rev-parse --short=12 HEAD 2>/dev/null",
+                          "r")) {
+        char buf[64] = {0};
+        std::string sha;
+        if (std::fgets(buf, sizeof(buf), p))
+            sha = buf;
+        ::pclose(p);
+        while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+            sha.pop_back();
+        if (!sha.empty())
+            return sha;
+    }
+    return "unknown";
+}
+
+BenchResult
+collectBenchResult(const std::string &bench, const SweepRunner &runner)
+{
+    const SweepSummary &s = runner.summary();
+    BenchResult r;
+    r.bench = bench;
+    r.gitSha = currentGitSha();
+    r.buildType = RRS_BUILD_TYPE;
+    r.threads = runner.numThreads();
+    r.runs = runner.runRecords();
+    r.instsTotal = s.instsCommitted;
+    r.cyclesTotal = s.cyclesSimulated;
+    r.wallSeconds = s.wallSeconds;
+    r.runsPerSec = s.runsPerSec();
+    r.minstPerSec = s.instsPerSec() / 1e6;
+    r.traceHits = s.traceHits;
+    r.traceMisses = s.traceMisses;
+    r.instsCaptured = s.instsCaptured;
+    r.instsReplayed = s.instsReplayed;
+    r.footer = formatSweepFooter(s);
+    if (obs::Profiler::enabled())
+        collectPhases(obs::Profiler::instance().runTree(), "", r.phases);
+    return r;
+}
+
+std::string
+renderBenchJson(const BenchResult &r)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"schema_version\": " << r.schemaVersion << ",\n"
+       << "  \"bench\": " << jsonStr(r.bench) << ",\n"
+       << "  \"git_sha\": " << jsonStr(r.gitSha) << ",\n"
+       << "  \"build_type\": " << jsonStr(r.buildType) << ",\n"
+       << "  \"threads\": " << r.threads << ",\n"
+       << "  \"runs\": [";
+    bool first = true;
+    for (const auto &run : r.runs) {
+        os << (first ? "\n" : ",\n") << "    {\"workload\": "
+           << jsonStr(run.workload) << ", \"scheme\": "
+           << jsonStr(run.scheme) << ", \"insts\": " << run.insts
+           << ", \"cycles\": " << run.cycles << ", \"ipc\": "
+           << jsonNum(run.ipc()) << ", \"wall_seconds\": "
+           << jsonNum(run.wallSeconds) << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n"
+       << "  \"totals\": {\"insts\": " << r.instsTotal
+       << ", \"cycles\": " << r.cyclesTotal << "},\n"
+       << "  \"throughput\": {\"wall_seconds\": "
+       << jsonNum(r.wallSeconds) << ", \"runs_per_sec\": "
+       << jsonNum(r.runsPerSec) << ", \"minst_per_sec\": "
+       << jsonNum(r.minstPerSec) << "},\n"
+       << "  \"trace_cache\": {\"hits\": " << r.traceHits
+       << ", \"misses\": " << r.traceMisses << ", \"captured_insts\": "
+       << r.instsCaptured << ", \"replayed_insts\": " << r.instsReplayed
+       << "},\n"
+       << "  \"phases\": [";
+    first = true;
+    for (const auto &ph : r.phases) {
+        os << (first ? "\n" : ",\n") << "    {\"path\": "
+           << jsonStr(ph.path) << ", \"count\": " << ph.count
+           << ", \"seconds\": " << jsonNum(ph.seconds)
+           << ", \"p50_us\": " << jsonNum(ph.p50Us) << ", \"p95_us\": "
+           << jsonNum(ph.p95Us) << ", \"max_us\": " << jsonNum(ph.maxUs)
+           << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n"
+       << "  \"footer\": " << jsonStr(r.footer) << "\n"
+       << "}\n";
+    return os.str();
+}
+
+std::string
+benchJsonFileName(const std::string &bench)
+{
+    return "BENCH_" + bench + ".json";
+}
+
+bool
+tryWriteBenchJson(const std::string &path, const BenchResult &r,
+                  std::string &error)
+{
+    return tryWriteFileAtomic(path, renderBenchJson(r), error);
+}
+
+bool
+loadBenchJson(const std::string &path, BenchResult &out,
+              std::string &error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    obs::json::Value doc;
+    if (!obs::json::parse(buf.str(), doc, &error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    const obs::json::Value *ver = doc.find("schema_version");
+    const obs::json::Value *bench = doc.find("bench");
+    if (!ver || !ver->isNumber() || !bench || !bench->isString()) {
+        error = path + ": not a BENCH_*.json (missing schema_version"
+                "/bench)";
+        return false;
+    }
+    out = BenchResult{};
+    out.schemaVersion = static_cast<int>(ver->num);
+    out.bench = bench->str;
+    if (const auto *v = doc.find("git_sha"))
+        out.gitSha = v->str;
+    if (const auto *v = doc.find("build_type"))
+        out.buildType = v->str;
+    if (const auto *v = doc.find("threads"))
+        out.threads = static_cast<unsigned>(v->num);
+    if (const auto *v = doc.find("runs")) {
+        for (const auto &e : v->arr) {
+            RunRecord run;
+            if (const auto *f = e.find("workload"))
+                run.workload = f->str;
+            if (const auto *f = e.find("scheme"))
+                run.scheme = f->str;
+            if (const auto *f = e.find("insts"))
+                run.insts = asU64(*f);
+            if (const auto *f = e.find("cycles"))
+                run.cycles = asU64(*f);
+            if (const auto *f = e.find("wall_seconds"))
+                run.wallSeconds = f->num;
+            out.runs.push_back(std::move(run));
+        }
+    }
+    if (const auto *v = doc.find("totals")) {
+        if (const auto *f = v->find("insts"))
+            out.instsTotal = asU64(*f);
+        if (const auto *f = v->find("cycles"))
+            out.cyclesTotal = asU64(*f);
+    }
+    if (const auto *v = doc.find("throughput")) {
+        if (const auto *f = v->find("wall_seconds"))
+            out.wallSeconds = f->num;
+        if (const auto *f = v->find("runs_per_sec"))
+            out.runsPerSec = f->num;
+        if (const auto *f = v->find("minst_per_sec"))
+            out.minstPerSec = f->num;
+    }
+    if (const auto *v = doc.find("trace_cache")) {
+        if (const auto *f = v->find("hits"))
+            out.traceHits = asU64(*f);
+        if (const auto *f = v->find("misses"))
+            out.traceMisses = asU64(*f);
+        if (const auto *f = v->find("captured_insts"))
+            out.instsCaptured = asU64(*f);
+        if (const auto *f = v->find("replayed_insts"))
+            out.instsReplayed = asU64(*f);
+    }
+    if (const auto *v = doc.find("phases")) {
+        for (const auto &e : v->arr) {
+            BenchResult::PhaseRow row;
+            if (const auto *f = e.find("path"))
+                row.path = f->str;
+            if (const auto *f = e.find("count"))
+                row.count = asU64(*f);
+            if (const auto *f = e.find("seconds"))
+                row.seconds = f->num;
+            if (const auto *f = e.find("p50_us"))
+                row.p50Us = f->num;
+            if (const auto *f = e.find("p95_us"))
+                row.p95Us = f->num;
+            if (const auto *f = e.find("max_us"))
+                row.maxUs = f->num;
+            out.phases.push_back(std::move(row));
+        }
+    }
+    if (const auto *v = doc.find("footer"))
+        out.footer = v->str;
+    return true;
+}
+
+int
+diffBenchResults(const BenchResult &base, const BenchResult &cur,
+                 const BenchDiffOptions &opts, std::ostream &os)
+{
+    os << "benchdiff: " << cur.bench << " (baseline " << base.gitSha
+       << "/" << base.buildType << " vs current " << cur.gitSha << "/"
+       << cur.buildType << ")\n";
+    if (base.schemaVersion != cur.schemaVersion) {
+        os << "error: schema version mismatch (baseline v"
+           << base.schemaVersion << ", current v" << cur.schemaVersion
+           << "); regenerate the baseline\n";
+        return 2;
+    }
+
+    // Exact pass: the run lists must match row for row.
+    std::vector<DiffRow> drift;
+    if (base.runs.size() != cur.runs.size()) {
+        os << "EXACT DRIFT: run count " << base.runs.size() << " -> "
+           << cur.runs.size()
+           << " (sweep shape changed; regenerate the baseline if "
+              "intentional)\n";
+        return 1;
+    }
+    for (std::size_t i = 0; i < base.runs.size(); ++i) {
+        const RunRecord &b = base.runs[i];
+        const RunRecord &c = cur.runs[i];
+        if (b.workload != c.workload || b.scheme != c.scheme) {
+            drift.push_back({b.workload + "->" + c.workload,
+                             b.scheme + "->" + c.scheme, "row",
+                             "run " + std::to_string(i), "", "reordered"});
+            continue;
+        }
+        if (b.insts != c.insts) {
+            drift.push_back({b.workload, b.scheme, "insts",
+                             u64Str(b.insts), u64Str(c.insts),
+                             signedDelta(b.insts, c.insts)});
+        }
+        if (b.cycles != c.cycles) {
+            char ipc[48];
+            std::snprintf(ipc, sizeof(ipc), "%+.4f%% IPC",
+                          pctDelta(b.ipc(), c.ipc()));
+            drift.push_back({b.workload, b.scheme, "cycles",
+                             u64Str(b.cycles), u64Str(c.cycles),
+                             signedDelta(b.cycles, c.cycles)});
+            drift.push_back({b.workload, b.scheme, "ipc",
+                             jsonNum(b.ipc()).substr(0, 8),
+                             jsonNum(c.ipc()).substr(0, 8), ipc});
+        }
+    }
+    if (base.traceHits != cur.traceHits ||
+        base.traceMisses != cur.traceMisses) {
+        drift.push_back({"(trace cache)", "-", "hit/miss",
+                         u64Str(base.traceHits) + "/" +
+                             u64Str(base.traceMisses),
+                         u64Str(cur.traceHits) + "/" +
+                             u64Str(cur.traceMisses),
+                         ""});
+    }
+
+    int exitCode = 0;
+    if (!drift.empty()) {
+        os << "EXACT DRIFT in " << drift.size()
+           << " metric(s) — deterministic simulation results changed:\n";
+        printDiffTable(os, drift, opts.markdown);
+        exitCode = 1;
+    } else {
+        os << "exact metrics: OK (" << cur.runs.size()
+           << " runs, insts/cycles/trace-cache identical)\n";
+    }
+
+    // Noisy pass: throughput numbers drift with the host; warn unless
+    // a threshold is configured.
+    struct Noisy
+    {
+        const char *name;
+        double base, cur;
+    };
+    const Noisy noisy[] = {
+        {"wall_seconds", base.wallSeconds, cur.wallSeconds},
+        {"runs_per_sec", base.runsPerSec, cur.runsPerSec},
+        {"minst_per_sec", base.minstPerSec, cur.minstPerSec},
+    };
+    const bool gate = opts.throughputThresholdPct >= 0;
+    os << "noisy metrics ("
+       << (gate ? "threshold " +
+                      jsonNum(opts.throughputThresholdPct) + "%"
+                : std::string("warn-only"))
+       << "):\n";
+    for (const auto &n : noisy) {
+        const double d = pctDelta(n.base, n.cur);
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "  %-14s %12.3f -> %12.3f  "
+                      "(%+.1f%%)%s\n", n.name, n.base, n.cur, d,
+                      gate && std::fabs(d) > opts.throughputThresholdPct
+                          ? "  REGRESSION"
+                          : "");
+        os << buf;
+        if (gate && std::fabs(d) > opts.throughputThresholdPct)
+            exitCode = exitCode == 0 ? 1 : exitCode;
+    }
+    return exitCode;
+}
+
+} // namespace rrs::harness

@@ -8,6 +8,7 @@
 #include "core/o3core.hh"
 #include "harness/tracecache.hh"
 #include "obs/pipetrace.hh"
+#include "obs/profiler.hh"
 #include "obs/sampler.hh"
 #include "rename/audit.hh"
 
@@ -131,7 +132,12 @@ runOn(const workloads::Workload &w, const RunConfig &config,
             interval);
     }
 
-    out.sim = core.run();
+    {
+        // The timing-model phase of the run; capture/warmup time is
+        // charged inside traceCache().get() above.
+        obs::ScopedPhase phase("simulate");
+        out.sim = core.run();
+    }
     traceCache().noteReplayed(stream.replayed());
     out.stalls = core.stallBreakdown();
     if (sampleOccupancy && !config.obs.timeseriesCsvPath.empty())

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "harness/tracecache.hh"
+#include "obs/profiler.hh"
 
 namespace rrs::harness {
 
@@ -77,11 +78,21 @@ SweepRunner::run(const std::vector<SweepItem> &items)
     for (std::size_t i = 0; i < items.size(); ++i)
         perRun.push_back(std::make_unique<RunStats>());
 
+    // Host-side phase profiling (obs/profiler.hh): the whole sweep is
+    // one phase on the calling thread; each run gets its own local
+    // tree, bound to whichever lane executes it, and the trees are
+    // merged after the join in submission order — so the profile's
+    // counts, like the Outcomes, are identical for every RRS_THREADS.
+    const bool prof = obs::Profiler::enabled();
+    obs::ScopedPhase sweepPhase("sweep");
+    std::vector<obs::PhaseTree> runTrees(prof ? items.size() : 0);
+
     const auto sweepStart = Clock::now();
     const TraceCache::Counters cacheBefore = traceCache().counters();
     pool.parallelFor(items.size(), [&](std::size_t i) {
         const SweepItem &item = items[i];
         rrs_assert(item.workload != nullptr, "sweep item needs a workload");
+        obs::Profiler::Bind bind(prof ? &runTrees[i] : nullptr);
         RunConfig cfg = item.config;
         cfg.core.seed = sweepSeed(cfg.core.seed, i);
 
@@ -114,6 +125,7 @@ SweepRunner::run(const std::vector<SweepItem> &items)
     const TraceCache::Counters cacheAfter = traceCache().counters();
 
     // Workers have joined (parallelFor returned): the merge path.
+    obs::ScopedPhase mergePhase("stats-merge");
     resetStats();
     for (const auto &rs : perRun) {
         ++totalRuns;
@@ -121,6 +133,22 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         totalCycles.merge(rs->cycles);
         runWall.merge(rs->wall);
         runIpcPct.merge(rs->ipcPct);
+    }
+    if (prof) {
+        // Submission-order merge of the per-run phase trees.
+        for (const auto &t : runTrees)
+            obs::Profiler::instance().addRunTree(t);
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        RunRecord rec;
+        rec.workload = items[i].workload->name;
+        rec.scheme = items[i].config.scheme == Scheme::Baseline
+                         ? "baseline"
+                         : "reuse";
+        rec.insts = results[i].outcome.sim.committedInsts;
+        rec.cycles = results[i].outcome.sim.cycles;
+        rec.wallSeconds = results[i].wallSeconds;
+        records.push_back(std::move(rec));
     }
     traceCaptureInsts =
         static_cast<double>(cacheAfter.capturedInsts -
@@ -174,10 +202,9 @@ SweepRunner::outcomes(const std::vector<SweepItem> &items)
     return out;
 }
 
-void
-SweepRunner::printSummary(std::ostream &os) const
+std::string
+formatSweepFooter(const SweepSummary &s)
 {
-    const SweepSummary &s = lastSummary;
     char buf[384];
     // Minst/s counts only timing-simulation work; the functional
     // emulation spent capturing traces (paid once per workload/cap,
@@ -198,7 +225,7 @@ SweepRunner::printSummary(std::ostream &os) const
                   s.traceMisses == 1 ? "" : "es",
                   static_cast<double>(s.instsCaptured) / 1e6,
                   static_cast<double>(s.instsReplayed) / 1e6);
-    os << buf;
+    std::string out = buf;
     // Only mention auditing when it actually ran (RRS_AUDIT / debug
     // builds): zero violations here is a per-sweep self-check receipt.
     if (s.auditsRun > 0) {
@@ -209,8 +236,15 @@ SweepRunner::printSummary(std::ostream &os) const
                       s.auditsRun == 1 ? "" : "s",
                       static_cast<unsigned long long>(s.auditViolations),
                       s.auditViolations == 1 ? "" : "s");
-        os << buf;
+        out += buf;
     }
+    return out;
+}
+
+void
+SweepRunner::printSummary(std::ostream &os) const
+{
+    os << formatSweepFooter(lastSummary);
 }
 
 } // namespace rrs::harness

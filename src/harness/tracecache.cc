@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 #include "trace/tracefile.hh"
 
 namespace rrs::harness {
@@ -57,6 +58,7 @@ TraceCache::get(const workloads::Workload &w, std::uint64_t maxInsts)
                         : spillTo + "/" +
                               trace::traceFileName(key.first, key.second);
     if (!path.empty()) {
+        obs::ScopedPhase phase("trace-cache-load");
         std::string error;
         trace::TracePtr spilled = trace::tryReadTraceFile(path, error);
         if (spilled && spilled->workload() == key.first &&
@@ -74,6 +76,7 @@ TraceCache::get(const workloads::Workload &w, std::uint64_t maxInsts)
 
     bool stored = false;
     if (!loaded && !path.empty()) {
+        obs::ScopedPhase phase("trace-cache-spill");
         std::string error;
         stored = trace::tryWriteTraceFile(path, *trace, error);
         if (!stored)

@@ -121,6 +121,47 @@ Distribution::mean() const
     return sum / static_cast<double>(total);
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (!total)
+        return 0.0;
+    if (p <= 0.0)
+        return static_cast<double>(minKey());
+    if (p >= 100.0)
+        return static_cast<double>(maxKey());
+
+    // Rank into the sorted multiset of samples, linear-interpolation
+    // convention: rank p/100 * (n-1), fractional ranks blend the two
+    // bounding order statistics.
+    const double rank =
+        p / 100.0 * static_cast<double>(total - 1);
+    const std::uint64_t lo = static_cast<std::uint64_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+
+    // Find the sample values at positions lo and lo+1 by walking the
+    // cumulative counts; each key k occupies positions
+    // [cum, cum + counts[k]).
+    std::uint64_t cum = 0;
+    double vLo = 0, vHi = 0;
+    bool haveLo = false;
+    for (const auto &[k, c] : counts) {
+        if (!haveLo && lo < cum + c) {
+            vLo = static_cast<double>(k);
+            haveLo = true;
+        }
+        if (haveLo && lo + 1 < cum + c) {
+            vHi = static_cast<double>(k);
+            return vLo + frac * (vHi - vLo);
+        }
+        cum += c;
+    }
+    // lo was the last sample (frac == 0 because p < 100 guarantees
+    // rank < total-1 only when interpolation found a successor above);
+    // report it directly.
+    return vLo;
+}
+
 void
 Distribution::dump(std::ostream &os, const std::string &prefix) const
 {

@@ -177,6 +177,18 @@ class Distribution : public StatBase
 
     double mean() const;
 
+    /**
+     * The p-th percentile (p in [0, 100]) of the sampled keys, with
+     * linear interpolation between adjacent order statistics (the
+     * numpy/"linear" convention): over the sorted multiset of samples
+     * the rank is `p/100 * (total - 1)`, and a fractional rank
+     * interpolates between the two bounding sample values.  An empty
+     * distribution reports 0; a single sample reports itself for every
+     * p.  Used by the phase profiler's per-run latency aggregates
+     * (p50/p95/max).
+     */
+    double percentile(double p) const;
+
     /** Smallest sampled key (0 when empty). */
     std::uint64_t minKey() const
     {

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <vector>
 
+#include "common/atomicfile.hh"
 #include "common/logging.hh"
 
 namespace rrs::trace {
@@ -207,26 +208,15 @@ tryWriteTraceFile(const std::string &path, const RecordedTrace &trace,
     }
     putU64(buf, trace.digest());
 
-    // Temp-file + rename keeps concurrent writers of one path atomic.
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os) {
-            error = "cannot open trace file '" + tmp + "' for writing";
-            return false;
-        }
-        os.write(reinterpret_cast<const char *>(buf.data()),
-                 static_cast<std::streamsize>(buf.size()));
-        if (!os) {
-            error = "short write to trace file '" + tmp + "'";
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        error = "cannot rename trace file '" + tmp + "' to '" + path + "'";
-        return false;
-    }
-    return true;
+    // Temp-file + rename keeps concurrent writers of one path atomic
+    // (common/atomicfile.hh, shared with the JSON exporters).
+    // No parent creation: a missing RRS_TRACE_DIR disables spilling
+    // rather than silently materialising directories.
+    return tryWriteFileAtomic(
+        path,
+        std::string_view(reinterpret_cast<const char *>(buf.data()),
+                         buf.size()),
+        error, /*createParents=*/false);
 }
 
 void
@@ -234,7 +224,8 @@ writeTraceFile(const std::string &path, const RecordedTrace &trace)
 {
     std::string error;
     if (!tryWriteTraceFile(path, trace, error))
-        rrs_fatal("%s", error.c_str());
+        rrs_fatal("cannot write trace file '%s': %s", path.c_str(),
+                  error.c_str());
 }
 
 TracePtr

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "isa/assembler.hh"
+#include "obs/profiler.hh"
 
 namespace rrs::workloads {
 
@@ -125,8 +126,10 @@ makeEmulator(const Workload &w, std::uint64_t maxInsts)
     // Skip the kernel's initialisation phase so measurements cover the
     // computation itself; the `warmup_done` label marks the boundary.
     auto it = prog.symbols.find("warmup_done");
-    if (it != prog.symbols.end())
+    if (it != prog.symbols.end()) {
+        obs::ScopedPhase phase("warmup");
         stream->fastForwardTo(it->second, 5'000'000);
+    }
     stream->setMaxInsts(stream->instCount() + resolvedCap(w, maxInsts));
     return stream;
 }
@@ -134,6 +137,7 @@ makeEmulator(const Workload &w, std::uint64_t maxInsts)
 trace::TracePtr
 captureTrace(const Workload &w, std::uint64_t maxInsts)
 {
+    obs::ScopedPhase phase("capture");
     const std::uint64_t cap = resolvedCap(w, maxInsts);
     auto e = makeEmulator(w, maxInsts);
     std::vector<trace::DynInst> insts;

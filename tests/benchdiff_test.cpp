@@ -1,0 +1,206 @@
+// BENCH_*.json perf baselines (harness/benchjson.hh): render/load
+// round-trip, atomic writes, and the regression-diff gate's exit-code
+// contract — exact drift fails, noisy drift warns, schema mismatch is
+// a clean error.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/benchjson.hh"
+
+namespace {
+
+using namespace rrs;
+using harness::BenchDiffOptions;
+using harness::BenchResult;
+using harness::RunRecord;
+
+BenchResult
+sampleResult()
+{
+    BenchResult r;
+    r.bench = "fig11_ipc";
+    r.gitSha = "abc123";
+    r.buildType = "Release";
+    r.threads = 4;
+    r.runs.push_back(RunRecord{"int_sort", "baseline", 20000, 25000,
+                               0.01});
+    r.runs.push_back(RunRecord{"int_sort", "reuse", 20000, 24000,
+                               0.01});
+    r.runs.push_back(RunRecord{"fp_fir", "baseline", 20000, 26000,
+                               0.02});
+    r.instsTotal = 60000;
+    r.cyclesTotal = 75000;
+    r.wallSeconds = 0.5;
+    r.runsPerSec = 6.0;
+    r.minstPerSec = 0.12;
+    r.traceHits = 1;
+    r.traceMisses = 2;
+    r.instsCaptured = 40000;
+    r.instsReplayed = 60000;
+    r.footer = "sweep: 3 runs in 0.50 s on 4 threads\n"
+               "trace cache: 1 hit / 2 misses\n";
+    r.phases.push_back({"simulate", 3, 0.45, 140000, 160000, 170000});
+    return r;
+}
+
+TEST(BenchJson, RenderLoadRoundTrip)
+{
+    const BenchResult r = sampleResult();
+    const std::string path =
+        testing::TempDir() + "/roundtrip/BENCH_fig11_ipc.json";
+    std::string error;
+    ASSERT_TRUE(harness::tryWriteBenchJson(path, r, error)) << error;
+
+    BenchResult back;
+    ASSERT_TRUE(harness::loadBenchJson(path, back, error)) << error;
+    EXPECT_EQ(back.schemaVersion, harness::benchSchemaVersion);
+    EXPECT_EQ(back.bench, r.bench);
+    EXPECT_EQ(back.gitSha, r.gitSha);
+    EXPECT_EQ(back.buildType, r.buildType);
+    EXPECT_EQ(back.threads, r.threads);
+    ASSERT_EQ(back.runs.size(), r.runs.size());
+    for (std::size_t i = 0; i < r.runs.size(); ++i) {
+        EXPECT_EQ(back.runs[i].workload, r.runs[i].workload);
+        EXPECT_EQ(back.runs[i].scheme, r.runs[i].scheme);
+        EXPECT_EQ(back.runs[i].insts, r.runs[i].insts);
+        EXPECT_EQ(back.runs[i].cycles, r.runs[i].cycles);
+    }
+    EXPECT_EQ(back.instsTotal, r.instsTotal);
+    EXPECT_EQ(back.cyclesTotal, r.cyclesTotal);
+    EXPECT_DOUBLE_EQ(back.wallSeconds, r.wallSeconds);
+    EXPECT_EQ(back.traceHits, r.traceHits);
+    EXPECT_EQ(back.traceMisses, r.traceMisses);
+    EXPECT_EQ(back.footer, r.footer);     // embedded newlines survive
+    ASSERT_EQ(back.phases.size(), 1u);
+    EXPECT_EQ(back.phases[0].path, "simulate");
+    EXPECT_EQ(back.phases[0].count, 3u);
+    EXPECT_DOUBLE_EQ(back.phases[0].p95Us, 160000);
+
+    // tmp+rename left no turd behind.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(BenchJson, WriteCreatesMissingParentDirs)
+{
+    const std::string path =
+        testing::TempDir() + "/bench/deeply/nested/BENCH_x.json";
+    std::string error;
+    ASSERT_TRUE(harness::tryWriteBenchJson(path, sampleResult(), error))
+        << error;
+    EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(BenchJson, LoadRejectsMalformedInput)
+{
+    const std::string path = testing::TempDir() + "/garbage.json";
+    std::ofstream(path) << "this is not json";
+    BenchResult out;
+    std::string error;
+    EXPECT_FALSE(harness::loadBenchJson(path, out, error));
+    EXPECT_FALSE(error.empty());
+
+    std::ofstream(path) << "{\"hello\": 1}";
+    EXPECT_FALSE(harness::loadBenchJson(path, out, error));
+    EXPECT_NE(error.find("schema_version"), std::string::npos);
+}
+
+TEST(BenchDiff, SelfDiffIsClean)
+{
+    const BenchResult r = sampleResult();
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(r, r, {}, os), 0);
+    EXPECT_NE(os.str().find("exact metrics: OK"), std::string::npos);
+}
+
+TEST(BenchDiff, InjectedIpcRegressionFails)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.runs[1].cycles += 500;    // IPC regression on int_sort/reuse
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 1);
+    EXPECT_NE(os.str().find("EXACT DRIFT"), std::string::npos);
+    EXPECT_NE(os.str().find("int_sort"), std::string::npos);
+    EXPECT_NE(os.str().find("cycles"), std::string::npos);
+}
+
+TEST(BenchDiff, InstructionCountDriftFails)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.runs[0].insts -= 1;
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 1);
+    EXPECT_NE(os.str().find("insts"), std::string::npos);
+}
+
+TEST(BenchDiff, RunCountMismatchFails)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.runs.pop_back();
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 1);
+    EXPECT_NE(os.str().find("run count"), std::string::npos);
+}
+
+TEST(BenchDiff, ThroughputDriftOnlyWarnsByDefault)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.wallSeconds = base.wallSeconds * 3;   // huge, but noisy
+    cur.runsPerSec = base.runsPerSec / 3;
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 0);
+    EXPECT_NE(os.str().find("warn-only"), std::string::npos);
+    EXPECT_EQ(os.str().find("EXACT DRIFT"), std::string::npos);
+}
+
+TEST(BenchDiff, ThroughputThresholdGates)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.wallSeconds = base.wallSeconds * 1.5;  // +50%
+    BenchDiffOptions opts;
+    opts.throughputThresholdPct = 10;
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, opts, os), 1);
+    EXPECT_NE(os.str().find("REGRESSION"), std::string::npos);
+
+    opts.throughputThresholdPct = 80;          // inside the budget
+    std::ostringstream ok;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, opts, ok), 0);
+}
+
+TEST(BenchDiff, SchemaMismatchIsCleanError)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.schemaVersion = harness::benchSchemaVersion + 1;
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 2);
+    EXPECT_NE(os.str().find("schema version mismatch"),
+              std::string::npos);
+    // A schema error reports nothing else: the formats don't compare.
+    EXPECT_EQ(os.str().find("EXACT"), std::string::npos);
+}
+
+TEST(BenchDiff, MarkdownModeEmitsPipeTable)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.runs[0].cycles += 7;
+    BenchDiffOptions opts;
+    opts.markdown = true;
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, opts, os), 1);
+    EXPECT_NE(os.str().find("| workload |"), std::string::npos);
+    EXPECT_NE(os.str().find("| int_sort |"), std::string::npos);
+}
+
+} // namespace

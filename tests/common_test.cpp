@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 
+#include "common/atomicfile.hh"
 #include "common/bitutils.hh"
 #include "common/circular_queue.hh"
 #include "common/random.hh"
@@ -186,6 +190,46 @@ TEST(StrUtils, ParseDouble)
     EXPECT_DOUBLE_EQ(parseDouble("1.5").value(), 1.5);
     EXPECT_DOUBLE_EQ(parseDouble("-2e3").value(), -2000.0);
     EXPECT_FALSE(parseDouble("nanx").has_value());
+}
+
+TEST(AtomicFile, WritesAndCreatesParents)
+{
+    const std::string dir = ::testing::TempDir() + "rrs_atomicfile";
+    const std::string path = dir + "/a/b/out.json";
+    std::string error;
+    ASSERT_TRUE(tryWriteFileAtomic(path, "{\"x\": 1}\n", error)) << error;
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_EQ(ss.str(), "{\"x\": 1}\n");
+    // No stray temp file at the destination.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFile, OverwriteReplacesWholeFile)
+{
+    const std::string dir = ::testing::TempDir() + "rrs_atomicfile2";
+    const std::string path = dir + "/out.txt";
+    std::string error;
+    ASSERT_TRUE(tryWriteFileAtomic(path, "a much longer first version",
+                                   error)) << error;
+    ASSERT_TRUE(tryWriteFileAtomic(path, "short", error)) << error;
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_EQ(ss.str(), "short");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFile, MissingParentFailsWithoutCreateParents)
+{
+    const std::string dir = ::testing::TempDir() + "rrs_atomicfile3";
+    std::string error;
+    EXPECT_FALSE(tryWriteFileAtomic(dir + "/missing/out.txt", "x", error,
+                                    /*createParents=*/false));
+    EXPECT_FALSE(error.empty());
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

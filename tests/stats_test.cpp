@@ -59,6 +59,78 @@ TEST(DistributionStat, FractionsAndMean)
     EXPECT_DOUBLE_EQ(d.mean(), (1 * 50 + 2 * 30 + 5 * 20) / 100.0);
 }
 
+TEST(DistributionPercentile, EmptyIsZero)
+{
+    Group g("g");
+    Distribution d(&g, "lat", "");
+    EXPECT_DOUBLE_EQ(d.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 0.0);
+}
+
+TEST(DistributionPercentile, SingleSampleIsItself)
+{
+    Group g("g");
+    Distribution d(&g, "lat", "");
+    d.sample(42);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(37), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 42.0);
+}
+
+TEST(DistributionPercentile, InterpolatesBetweenSamples)
+{
+    Group g("g");
+    Distribution d(&g, "lat", "");
+    // Sorted samples: 10, 20 — rank p/100 * 1.
+    d.sample(10);
+    d.sample(20);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 15.0);
+    EXPECT_DOUBLE_EQ(d.percentile(75), 17.5);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 20.0);
+}
+
+TEST(DistributionPercentile, BucketEdges)
+{
+    Group g("g");
+    Distribution d(&g, "lat", "");
+    // Sorted samples: 1, 1, 1, 5 (positions 0..3).
+    d.sample(1, 3);
+    d.sample(5, 1);
+    // Rank 50% = 1.5 — inside the run of 1s: no interpolation.
+    EXPECT_DOUBLE_EQ(d.percentile(50), 1.0);
+    // Rank 2/3*3 = 2.0 — exactly the last 1.
+    EXPECT_DOUBLE_EQ(d.percentile(200.0 / 3.0), 1.0);
+    // Rank 75% = 2.25 — straddles the 1 -> 5 bucket edge.
+    EXPECT_DOUBLE_EQ(d.percentile(75), 1.0 + 0.25 * 4.0);
+    // Rank 100% = the lone 5.
+    EXPECT_DOUBLE_EQ(d.percentile(100), 5.0);
+}
+
+TEST(DistributionPercentile, ClampsOutOfRangeP)
+{
+    Group g("g");
+    Distribution d(&g, "lat", "");
+    d.sample(3);
+    d.sample(9);
+    EXPECT_DOUBLE_EQ(d.percentile(-5), 3.0);
+    EXPECT_DOUBLE_EQ(d.percentile(150), 9.0);
+}
+
+TEST(DistributionPercentile, MedianOfOddCountIsExactSample)
+{
+    Group g("g");
+    Distribution d(&g, "lat", "");
+    d.sample(2);
+    d.sample(4);
+    d.sample(8);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 4.0);
+    EXPECT_DOUBLE_EQ(d.percentile(25), 3.0);
+    EXPECT_DOUBLE_EQ(d.percentile(75), 6.0);
+}
+
 TEST(ScalarMerge, AddsValues)
 {
     Group g("g");

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * rrs-benchdiff: compare BENCH_*.json perf baselines.
+ *
+ *   rrs-benchdiff [options] <baseline> <current>
+ *
+ * Each argument is a BENCH_*.json file or a directory of them; with
+ * directories, files are matched by name.  Exact metrics (instruction
+ * and cycle counts, and the IPC derived from them) must match
+ * bit-for-bit — the sweep engine guarantees them across thread counts
+ * and machines — so any drift exits 1.  Noisy metrics (wall clock,
+ * runs/s, Minst/s) only warn unless --throughput-threshold is given.
+ * A schema-version mismatch exits 2.
+ *
+ * Options:
+ *   --markdown                    pipe-table output (PR comments)
+ *   --throughput-threshold <pct>  fail on noisy drift beyond <pct>%
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/benchjson.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+using rrs::harness::BenchDiffOptions;
+using rrs::harness::BenchResult;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--markdown] [--throughput-threshold <pct>] "
+                 "<baseline> <current>\n"
+                 "  baseline/current: BENCH_*.json files, or "
+                 "directories matched by file name\n",
+                 argv0);
+    std::exit(2);
+}
+
+/** BENCH_*.json files under `dir`, sorted by name. */
+std::vector<std::string>
+benchFiles(const std::string &dir)
+{
+    std::vector<std::string> names;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        const std::string name = e.path().filename().string();
+        if (e.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+            name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0) {
+            names.push_back(name);
+        }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+/** Load both sides and diff; returns the diff exit code. */
+int
+diffFiles(const std::string &basePath, const std::string &curPath,
+          const BenchDiffOptions &opts)
+{
+    BenchResult base, cur;
+    std::string error;
+    if (!rrs::harness::loadBenchJson(basePath, base, error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    if (!rrs::harness::loadBenchJson(curPath, cur, error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    return rrs::harness::diffBenchResults(base, cur, opts, std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchDiffOptions opts;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--markdown") == 0) {
+            opts.markdown = true;
+        } else if (std::strcmp(argv[i], "--throughput-threshold") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            opts.throughputThresholdPct = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            usage(argv[0]);
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.size() != 2)
+        usage(argv[0]);
+
+    const bool baseDir = fs::is_directory(paths[0]);
+    const bool curDir = fs::is_directory(paths[1]);
+    if (baseDir != curDir) {
+        std::fprintf(stderr, "error: cannot compare a directory with a "
+                             "file\n");
+        return 2;
+    }
+    if (!baseDir)
+        return diffFiles(paths[0], paths[1], opts);
+
+    // Directory mode: match by file name; a baseline with no current
+    // counterpart is a missing bench (fail), a new current file only
+    // notes (it has no baseline to regress against yet).
+    int worst = 0;
+    const auto baseNames = benchFiles(paths[0]);
+    const auto curNames = benchFiles(paths[1]);
+    if (baseNames.empty()) {
+        std::fprintf(stderr, "error: no BENCH_*.json under '%s'\n",
+                     paths[0].c_str());
+        return 2;
+    }
+    for (const auto &name : baseNames) {
+        if (std::find(curNames.begin(), curNames.end(), name) ==
+            curNames.end()) {
+            std::printf("MISSING: %s present in baseline only\n",
+                        name.c_str());
+            worst = std::max(worst, 1);
+            continue;
+        }
+        const int rc = diffFiles(paths[0] + "/" + name,
+                                 paths[1] + "/" + name, opts);
+        worst = std::max(worst, rc);
+    }
+    for (const auto &name : curNames) {
+        if (std::find(baseNames.begin(), baseNames.end(), name) ==
+            baseNames.end()) {
+            std::printf("note: %s is new (no baseline)\n", name.c_str());
+        }
+    }
+    return worst;
+}
