@@ -21,14 +21,20 @@ main(int argc, char **argv)
                   "paper section IV-A: a 2-bit counter balances sharing "
                   "degree against PRT and issue-queue cost");
 
-    std::vector<harness::RunConfig> configs;
+    // Declarative ablation: the first column is the reference
+    // baseline, every other column one counter-width variant.
+    const auto matrix = harness::parseSweepMatrix(R"({
+  "schemes": ["baseline",
+              {"scheme": "reuse", "label": "1-bit",
+               "params": {"counter_bits": 1}},
+              {"scheme": "reuse", "label": "2-bit",
+               "params": {"counter_bits": 2}},
+              {"scheme": "reuse", "label": "3-bit",
+               "params": {"counter_bits": 3}}],
+  "rf_sizes": [56]
+})");
     const std::vector<std::uint8_t> widths = {1, 2, 3};
-    for (std::uint8_t bits : widths) {
-        auto cfg = harness::reuseConfig(56);
-        cfg.reuse.counterBits = bits;
-        configs.push_back(cfg);
-    }
-    auto speedups = bench::geomeanSpeedups(configs, 56);
+    auto speedups = bench::geomeanSpeedups(matrix);
 
     stats::TextTable t({"bits", "geomean speedup vs baseline@56",
                         "IQ overhead mm^2"});

@@ -20,38 +20,34 @@ main(int argc, char **argv)
                   "paper uses a 512-entry, 2-bit predictor (1 Kbit); "
                   "speculative reuse needs the predictor");
 
-    std::vector<harness::RunConfig> configs;
-    std::vector<std::string> labels;
-    for (std::uint32_t entries : {64u, 128u, 512u, 2048u, 4096u}) {
-        auto cfg = harness::reuseConfig(56);
-        cfg.reuse.predictor.entries = entries;
-        configs.push_back(cfg);
-        labels.push_back(std::to_string(entries) + "-entry predictor");
-    }
-    {
-        auto cfg = harness::reuseConfig(56);
-        cfg.reuse.reuseNonRedef = false;
-        configs.push_back(cfg);
-        labels.push_back("redefining-only reuse");
-    }
-    {
-        auto cfg = harness::reuseConfig(56);
-        cfg.reuse.nonRedefConfidence = 2;
-        configs.push_back(cfg);
-        labels.push_back("high-confidence speculation");
-    }
-    {
-        auto cfg = harness::reuseConfig(56);
-        cfg.reuse.reuseEnabled = false;
-        configs.push_back(cfg);
-        labels.push_back("reuse disabled (capacity-only)");
-    }
+    // Declarative ablation: column 0 is the reference baseline; the
+    // column labels double as the table's row names.
+    const auto matrix = harness::parseSweepMatrix(R"json({
+  "schemes": ["baseline",
+              {"scheme": "reuse", "label": "64-entry predictor",
+               "params": {"predictor_entries": 64}},
+              {"scheme": "reuse", "label": "128-entry predictor",
+               "params": {"predictor_entries": 128}},
+              {"scheme": "reuse", "label": "512-entry predictor",
+               "params": {"predictor_entries": 512}},
+              {"scheme": "reuse", "label": "2048-entry predictor",
+               "params": {"predictor_entries": 2048}},
+              {"scheme": "reuse", "label": "4096-entry predictor",
+               "params": {"predictor_entries": 4096}},
+              {"scheme": "reuse", "label": "redefining-only reuse",
+               "params": {"reuse_non_redef": false}},
+              {"scheme": "reuse", "label": "high-confidence speculation",
+               "params": {"non_redef_confidence": 2}},
+              {"scheme": "reuse", "label": "reuse disabled (capacity-only)",
+               "params": {"reuse_enabled": false}}],
+  "rf_sizes": [56]
+})json");
 
-    auto speedups = bench::geomeanSpeedups(configs, 56);
+    auto speedups = bench::geomeanSpeedups(matrix);
 
     stats::TextTable t({"configuration", "geomean speedup @56"});
-    for (std::size_t i = 0; i < configs.size(); ++i)
-        t.row().cell(labels[i]).cell(speedups[i], 4);
+    for (std::size_t i = 0; i < speedups.size(); ++i)
+        t.row().cell(matrix.schemes[i + 1].label).cell(speedups[i], 4);
     t.print(std::cout, "Predictor/policy ablation at the 56-register "
                        "equal-area point");
     std::printf("\nShape checks: 512 entries is within noise of 4096 "

@@ -13,8 +13,7 @@
 #include "bpred/bpred.hh"
 #include "common.hh"
 #include "core/o3core.hh"
-#include "rename/baseline.hh"
-#include "rename/reuse.hh"
+#include "rename/scheme.hh"
 #include "trace/synthetic.hh"
 
 using namespace rrs;
@@ -38,16 +37,13 @@ runSynthetic(double singleUse, bool reuseScheme)
 
     mem::MemSystem mem{mem::MemSystemParams{}};
     bpred::BranchPredictor bp{bpred::BPredParams{}};
-    std::unique_ptr<rename::Renamer> rn;
-    if (reuseScheme) {
-        rename::ReuseRenamerParams rp;
-        rp.intBanks = harness::equalAreaBanks(48);
-        rp.fpBanks = rp.intBanks;
-        rn = std::make_unique<rename::ReuseRenamer>(rp);
-    } else {
-        rn = std::make_unique<rename::BaselineRenamer>(
-            rename::BaselineParams{48, 48});
-    }
+    // Both renamers come from the scheme registry at their 48-register
+    // equal-area configurations, like every harness run.
+    const rename::RenameScheme &scheme =
+        rename::renameScheme(reuseScheme ? "reuse" : "baseline");
+    rename::SchemeParams rp;
+    scheme.configureEqualArea(rp, 48);
+    std::unique_ptr<rename::Renamer> rn = scheme.makeRenamer(rp);
     core::O3Core core(core::CoreParams{}, *rn, mem, bp, stream);
     return static_cast<double>(core.run().cycles);
 }

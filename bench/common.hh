@@ -47,7 +47,9 @@
 #include "common/threadpool.hh"
 #include "harness/benchjson.hh"
 #include "harness/experiment.hh"
+#include "harness/figures.hh"
 #include "harness/sweep.hh"
+#include "harness/sweepmatrix.hh"
 #include "harness/tracecache.hh"
 #include "obs/profiler.hh"
 #include "stats/table.hh"
@@ -75,13 +77,47 @@ capInsts()
 /** Default analysis window per workload. */
 constexpr std::uint64_t analysisInsts = 300'000;
 
-/** Paper register-file sweep points (Table III column 1). */
+/**
+ * The default sweep matrix: the paper's scheme pair over the Table III
+ * register-file sweep points.  `--matrix <file>` replaces it wholesale
+ * with a user-written document (harness/sweepmatrix.hh documents the
+ * format), so any bench built on the matrix grid can sweep a new
+ * scheme, a different size ladder or per-scheme parameter overrides
+ * without a rebuild.
+ */
+inline const char *
+defaultMatrixJson()
+{
+    return R"({
+  "schemes": ["baseline", "reuse"],
+  "rf_sizes": [48, 56, 64, 72, 80, 96, 112]
+})";
+}
+
+/** `--matrix <file>` override path ("" = use the default matrix). */
+inline std::string &
+matrixJsonPath()
+{
+    static std::string path;
+    return path;
+}
+
+/** This invocation's sweep matrix (parsed once, fatal on problems). */
+inline const harness::SweepMatrix &
+matrix()
+{
+    static const harness::SweepMatrix m =
+        matrixJsonPath().empty()
+            ? harness::parseSweepMatrix(defaultMatrixJson())
+            : harness::loadSweepMatrixFile(matrixJsonPath());
+    return m;
+}
+
+/** Register-file sweep points (matrix "rf_sizes"; paper Table III). */
 inline const std::vector<std::uint32_t> &
 rfSizes()
 {
-    static const std::vector<std::uint32_t> sizes = {48, 56, 64, 72,
-                                                     80, 96, 112};
-    return sizes;
+    return matrix().rfSizes;
 }
 
 /** The bench process's sweep runner (thread count from RRS_THREADS). */
@@ -173,9 +209,10 @@ selectedWorkloads()
  * perf-baseline recorder), `--prof` (host phase profiler, also
  * RRS_PROF=1), `--cap <insts>` (shortened timing runs), `--suite
  * <name>` and `--workload <substr>` (subset selection for quick
- * iteration; see selectedWorkloads()), and returns the arguments it
- * did not consume, in order, for the bench's own flags (e.g. fig10's
- * --quick).
+ * iteration; see selectedWorkloads()), `--matrix <file>` (a JSON sweep
+ * matrix replacing the bench's default scheme/size grid; see
+ * harness/sweepmatrix.hh), and returns the arguments it did not
+ * consume, in order, for the bench's own flags (e.g. fig10's --quick).
  */
 inline std::vector<std::string>
 init(int argc, char **argv)
@@ -220,6 +257,13 @@ init(int argc, char **argv)
             if (i + 1 >= argc)
                 rrs_fatal("--workload needs a name substring argument");
             workloadFilter() = argv[++i];
+        } else if (std::strcmp(argv[i], "--matrix") == 0) {
+            if (i + 1 >= argc)
+                rrs_fatal("--matrix needs a JSON file argument");
+            matrixJsonPath() = argv[++i];
+            // Parse (and so validate) eagerly: a bad matrix dies here,
+            // before any simulation work starts.
+            (void)matrix();
         } else {
             rest.emplace_back(argv[i]);
         }
@@ -315,97 +359,59 @@ usageReports(const std::vector<workloads::Workload> &ws,
 }
 
 /**
- * Baseline/proposed outcome pairs for every (workload, rf size) cell,
- * computed with a single sweep.  Returned as [workload][size] pairs in
- * input order.
+ * The workloads a matrix runs: its own "suite" filter (when set)
+ * composed with the --suite / --workload command-line filters.
  */
-struct OutcomePair
+inline std::vector<workloads::Workload>
+matrixWorkloads(const harness::SweepMatrix &m)
 {
-    harness::Outcome base;
-    harness::Outcome prop;
+    if (m.suite.empty())
+        return selectedWorkloads();
+    return filterWorkloads(workloads::suiteWorkloads(m.suite));
+}
 
-    double
-    speedup() const
-    {
-        return static_cast<double>(base.sim.cycles) /
-               static_cast<double>(prop.sim.cycles);
-    }
-};
+using harness::OutcomePair;
 
+/**
+ * Base/proposed outcome pairs for every (workload, rf size) cell of a
+ * two-column matrix, computed with a single sweep.  Returned as
+ * [workload][size] pairs in input order.
+ */
 inline std::vector<std::vector<OutcomePair>>
 outcomeGrid(const std::vector<workloads::Workload> &ws,
-            const std::vector<std::uint32_t> &sizes,
-            bool paperPreset = false,
-            std::uint64_t insts = 0)
+            const harness::SweepMatrix &m)
 {
-    if (insts == 0)
-        insts = capInsts();
-    std::vector<harness::SweepItem> items;
-    items.reserve(ws.size() * sizes.size() * 2);
-    for (const auto &w : ws) {
-        for (std::uint32_t n : sizes) {
-            auto base = harness::baselineConfig(n);
-            base.maxInsts = insts;
-            auto prop = harness::reuseConfig(n);
-            prop.reuse.intBanks = harness::equalAreaBanks(n, paperPreset);
-            prop.reuse.fpBanks = prop.reuse.intBanks;
-            prop.maxInsts = insts;
-            items.push_back(harness::sweepItem(w, base));
-            items.push_back(harness::sweepItem(w, prop));
-        }
-    }
-    auto outs = sweeper().outcomes(items);
-    std::vector<std::vector<OutcomePair>> grid(ws.size());
-    std::size_t k = 0;
-    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
-        grid[wi].resize(sizes.size());
-        for (std::size_t si = 0; si < sizes.size(); ++si) {
-            grid[wi][si].base = std::move(outs[k++]);
-            grid[wi][si].prop = std::move(outs[k++]);
-        }
-    }
-    return grid;
+    return harness::outcomePairGrid(sweeper(), ws, m, capInsts());
 }
 
 /**
- * Geomean speedups of a set of proposed configs against a common
- * baseline size, one sweep for everything.  Used by the ablations:
- * returns one geomean per config, in input order.
+ * Ablation helper: geomean speedup of every non-first matrix column
+ * against the first (the reference, usually "baseline"), over all
+ * (workload, size) cells, one sweep for everything.  Returns one
+ * geomean per non-reference column, in document order.
  */
 inline std::vector<double>
-geomeanSpeedups(const std::vector<harness::RunConfig> &propConfigs,
-                std::uint32_t baselineRegs,
-                std::uint64_t insts = 0)
+geomeanSpeedups(const harness::SweepMatrix &m)
 {
-    if (insts == 0)
-        insts = capInsts();
-    const auto ws = selectedWorkloads();
-    std::vector<harness::SweepItem> items;
-    items.reserve(ws.size() * (propConfigs.size() + 1));
-    for (const auto &w : ws) {
-        auto base = harness::baselineConfig(baselineRegs);
-        base.maxInsts = insts;
-        items.push_back(harness::sweepItem(w, base));
-        for (const auto &prop : propConfigs) {
-            auto cfg = prop;
-            cfg.maxInsts = insts;
-            items.push_back(harness::sweepItem(w, cfg));
-        }
-    }
-    auto outs = sweeper().outcomes(items);
-    std::vector<std::vector<double>> speedups(propConfigs.size());
-    std::size_t k = 0;
+    rrs_assert(m.schemes.size() >= 2,
+               "geomeanSpeedups needs a reference column plus at "
+               "least one variant");
+    const auto ws = matrixWorkloads(m);
+    auto grid = harness::matrixOutcomeGrid(sweeper(), ws, m,
+                                           capInsts());
+    std::vector<std::vector<double>> speedups(m.schemes.size() - 1);
     for (std::size_t wi = 0; wi < ws.size(); ++wi) {
-        const auto &base = outs[k++];
-        for (std::size_t ci = 0; ci < propConfigs.size(); ++ci) {
-            const auto &prop = outs[k++];
-            speedups[ci].push_back(
-                static_cast<double>(base.sim.cycles) /
-                static_cast<double>(prop.sim.cycles));
+        for (std::size_t si = 0; si < m.rfSizes.size(); ++si) {
+            const auto &cell = grid[wi][si];
+            for (std::size_t ci = 1; ci < m.schemes.size(); ++ci) {
+                speedups[ci - 1].push_back(
+                    static_cast<double>(cell[0].sim.cycles) /
+                    static_cast<double>(cell[ci].sim.cycles));
+            }
         }
     }
     std::vector<double> out;
-    out.reserve(propConfigs.size());
+    out.reserve(speedups.size());
     for (const auto &s : speedups)
         out.push_back(harness::geomean(s));
     return out;

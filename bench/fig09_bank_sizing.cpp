@@ -39,20 +39,19 @@ main(int argc, char **argv)
                   "registers with k shadow cells needed to cover X% of "
                   "SPECfp execution time; small counts suffice");
 
-    // Unbounded banks: every free register has 3 shadow cells.
-    harness::RunConfig cfg;
-    cfg.scheme = harness::Scheme::Reuse;
-    cfg.reuse.intBanks = {32, 0, 0, 96};
-    cfg.reuse.fpBanks = {32, 0, 0, 96};
-    cfg.maxInsts = bench::capInsts();
-
-    const auto ws =
-        bench::filterWorkloads(workloads::suiteWorkloads("specfp"));
-    std::vector<harness::SweepItem> items;
-    items.reserve(ws.size());
-    for (const auto &w : ws)
-        items.push_back(harness::sweepItem(w, cfg, true));
-    auto outs = bench::sweeper().outcomes(items);
+    // Unbounded banks: every free register has 3 shadow cells.  The
+    // bank overrides replace the equal-area configuration wholesale.
+    const auto m = harness::parseSweepMatrix(R"({
+  "schemes": [{"scheme": "reuse", "label": "unbounded shadow banks",
+               "params": {"bank0": 32, "bank1": 0,
+                          "bank2": 0, "bank3": 96}}],
+  "rf_sizes": [64],
+  "suite": "specfp",
+  "sample_sharing": true
+})");
+    const auto ws = bench::matrixWorkloads(m);
+    auto outs = bench::sweeper().outcomes(
+        harness::expandSweepMatrix(m, ws, bench::capInsts()));
 
     std::vector<std::uint32_t> s1, s2, s3;
     for (const auto &out : outs) {

@@ -26,12 +26,15 @@ main(int argc, char **argv)
                   "SPECfp avg +12.2%..+0.8% (48..112); SPECint avg "
                   "+47%..+0.4%; gains shrink as the file grows");
 
-    const auto sizes = quick
-                           ? std::vector<std::uint32_t>{48, 64, 96}
-                           : bench::rfSizes();
+    // --quick narrows the matrix to three sizes; everything else about
+    // the grid (scheme columns, suite filter) still comes from it.
+    harness::SweepMatrix m = bench::matrix();
+    if (quick)
+        m.rfSizes = {48, 64, 96};
+    const auto &sizes = m.rfSizes;
 
-    const auto all = bench::selectedWorkloads();
-    auto grid = bench::outcomeGrid(all, sizes);
+    const auto all = bench::matrixWorkloads(m);
+    auto grid = bench::outcomeGrid(all, m);
 
     for (const auto &suite : workloads::suiteNames()) {
         // Under --suite / --workload filtering some suites may have no

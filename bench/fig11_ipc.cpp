@@ -26,46 +26,13 @@ main(int argc, char **argv)
                   "proposed reaches baseline IPC with ~1 size class "
                   "fewer registers (10.5% register-file reduction)");
 
-    const auto all = bench::selectedWorkloads();
-    auto grid = bench::outcomeGrid(all, bench::rfSizes());
-
-    stats::TextTable t({"regs", "baseline IPC", "proposed IPC"});
-    std::vector<double> baseIpc, propIpc;
-    for (std::size_t si = 0; si < bench::rfSizes().size(); ++si) {
-        std::vector<double> b, p;
-        for (std::size_t wi = 0; wi < all.size(); ++wi) {
-            b.push_back(grid[wi][si].base.sim.ipc());
-            p.push_back(grid[wi][si].prop.sim.ipc());
-        }
-        baseIpc.push_back(harness::geomean(b));
-        propIpc.push_back(harness::geomean(p));
-        t.row()
-            .cell(bench::rfSizes()[si])
-            .cell(baseIpc.back(), 3)
-            .cell(propIpc.back(), 3);
-    }
-    t.print(std::cout, "Geomean IPC over all workloads");
-
-    // Crossover analysis: smallest baseline size whose IPC the
-    // proposed scheme meets with fewer baseline-equivalent registers.
-    for (std::size_t i = 0; i + 1 < bench::rfSizes().size(); ++i) {
-        if (propIpc[i] >= baseIpc[i + 1] * 0.995) {
-            std::printf("\nCrossover: proposed@%u reaches baseline@%u "
-                        "IPC (%.3f vs %.3f) => ~%.1f%% register "
-                        "reduction at equal performance.\n",
-                        bench::rfSizes()[i], bench::rfSizes()[i + 1],
-                        propIpc[i], baseIpc[i + 1],
-                        100.0 *
-                            (1.0 - static_cast<double>(
-                                       bench::rfSizes()[i]) /
-                                       static_cast<double>(
-                                           bench::rfSizes()[i + 1])));
-            break;
-        }
-    }
-    std::printf("\nShape checks: both curves saturate with size; the "
-                "proposed curve sits on or above the baseline at every "
-                "sweep point below saturation.\n");
+    // The whole deterministic block — table, crossover analysis and
+    // shape-check note — comes from the shared renderer the golden
+    // tests lock byte-for-byte (harness/figures.hh).
+    const auto &m = bench::matrix();
+    const auto all = bench::matrixWorkloads(m);
+    auto grid = bench::outcomeGrid(all, m);
+    std::cout << harness::renderFig11(m.rfSizes, grid);
     bench::finish("fig11_ipc");
     return 0;
 }

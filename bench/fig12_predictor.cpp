@@ -25,15 +25,13 @@ main(int argc, char **argv)
                   "most predictions correct; ~2.28% lost opportunities "
                   "and ~3.1% repaired mispredictions in SPECfp");
 
-    const auto all = bench::selectedWorkloads();
-    std::vector<harness::SweepItem> items;
-    items.reserve(all.size());
-    for (const auto &w : all) {
-        auto cfg = harness::reuseConfig(64);
-        cfg.maxInsts = bench::capInsts();
-        items.push_back(harness::sweepItem(w, cfg));
-    }
-    auto outs = bench::sweeper().outcomes(items);
+    const auto m = harness::parseSweepMatrix(R"({
+  "schemes": ["reuse"],
+  "rf_sizes": [64]
+})");
+    const auto all = bench::matrixWorkloads(m);
+    auto outs = bench::sweeper().outcomes(
+        harness::expandSweepMatrix(m, all, bench::capInsts()));
 
     stats::TextTable t({"workload", "reuse-ok%", "reuse-wrong%",
                         "normal-ok%", "normal-wrong%", "repairs/1k"});

@@ -49,6 +49,37 @@ main(int argc, char **argv)
     std::printf("\nShape check: total overhead is %.2f%% of the two "
                 "register files (paper: well under 1%%).\n",
                 100.0 * total / (int_rf + fp_rf));
+
+    // Every registered scheme priced from its own area descriptor at
+    // the 64-register equal-area point: the baseline is its two plain
+    // files; the proposed scheme adds shadow banks, PRT, IQ version
+    // bits and the predictor but still undercuts the baseline.
+    std::printf("\n");
+    stats::TextTable st({"scheme", "int banks", "extra structures",
+                         "total mm^2"});
+    for (const auto &name : rename::registeredRenameSchemes()) {
+        const rename::RenameScheme &scheme = rename::renameScheme(name);
+        rename::SchemeParams sp;
+        scheme.configureEqualArea(sp, 64);
+        const auto d = scheme.areaDescriptor(sp);
+        const double a = m.schemeArea(
+            d.intBanks, d.fpBanks, 64, 128, d.prtCounterBits, 40,
+            d.iqExtraTagBits, d.predictorEntries, d.predictorBits);
+        std::string banks = std::to_string(d.intBanks[0]) + "+" +
+                            std::to_string(d.intBanks[1]) + "+" +
+                            std::to_string(d.intBanks[2]) + "+" +
+                            std::to_string(d.intBanks[3]);
+        std::string extras =
+            d.prtCounterBits == 0
+                ? std::string("none")
+                : "PRT(" + std::to_string(d.prtCounterBits) +
+                      "b) IQ(+" + std::to_string(d.iqExtraTagBits) +
+                      "b) pred(" + std::to_string(d.predictorEntries) +
+                      "x" + std::to_string(d.predictorBits) + "b)";
+        st.row().cell(name).cell(banks).cell(extras).cell(a, 4);
+    }
+    st.print(std::cout, "Registered schemes priced via their area "
+                        "descriptors (64-register equal-area point)");
     bench::finish("table2_area");
     return 0;
 }

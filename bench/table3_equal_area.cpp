@@ -23,36 +23,10 @@ main(int argc, char **argv)
                   "72 -> 36+8+8+8, 80 -> 42+8+8+8, 96 -> 58+8+8+8, "
                   "112 -> 75+8+8+8");
 
+    // The table and its shape-check note come from the shared renderer
+    // the golden tests lock byte-for-byte (harness/figures.hh).
     area::AreaModel m;
-    auto solvedAll = harness::solveEqualAreaTable(m, bench::rfSizes(),
-                                                  64, false);
-
-    stats::TextTable t({"baseline", "paper banks", "paper area%",
-                        "tuned banks", "tuned area%", "solver bank0"});
-    for (std::size_t i = 0; i < bench::rfSizes().size(); ++i) {
-        std::uint32_t n = bench::rfSizes()[i];
-        double budget = m.regFileArea(n, 64);
-        auto fmt = [](const rename::BankConfig &b) {
-            return std::to_string(b[0]) + "+" + std::to_string(b[1]) +
-                   "+" + std::to_string(b[2]) + "+" + std::to_string(b[3]);
-        };
-        rename::BankConfig paper = harness::equalAreaBanks(n, true);
-        rename::BankConfig tuned = harness::equalAreaBanks(n, false);
-        const rename::BankConfig &solved = solvedAll[i];
-        t.row()
-            .cell(n)
-            .cell(fmt(paper))
-            .cell(100.0 * m.bankedRegFileArea(paper, 64) / budget, 1)
-            .cell(fmt(tuned))
-            .cell(100.0 * m.bankedRegFileArea(tuned, 64) / budget, 1)
-            .cell(solved[0]);
-    }
-    t.print(std::cout,
-            "Equal-area configurations (area%% = fraction of the "
-            "baseline file's area used)");
-    std::printf("\nShape checks: every configuration fits within 100%% "
-                "of its baseline's area; the solver's bank0 matches the "
-                "stored tuned rows.\n");
+    std::cout << harness::renderTable3(m, bench::rfSizes());
     bench::finish("table3_equal_area");
     return 0;
 }

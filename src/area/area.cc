@@ -81,6 +81,31 @@ AreaModel::predictorArea(std::uint32_t entries,
     return sramArea(entries, bitsPerEntry, 3) + 2.0e-3;
 }
 
+double
+AreaModel::schemeArea(const std::array<std::uint32_t, 4> &intBanks,
+                      const std::array<std::uint32_t, 4> &fpBanks,
+                      std::uint32_t intBits, std::uint32_t fpBits,
+                      std::uint32_t prtCounterBits,
+                      std::uint32_t iqEntries,
+                      std::uint32_t iqExtraTagBits,
+                      std::uint32_t predictorEntries,
+                      std::uint32_t predictorBits) const
+{
+    double total = bankedRegFileArea(intBanks, intBits) +
+                   bankedRegFileArea(fpBanks, fpBits);
+    if (prtCounterBits > 0) {
+        std::uint32_t physRegs = 0;
+        for (std::size_t b = 0; b < 4; ++b)
+            physRegs += intBanks[b] + fpBanks[b];
+        total += prtArea(physRegs, prtCounterBits);
+    }
+    if (iqExtraTagBits > 0)
+        total += iqOverheadArea(iqEntries, iqExtraTagBits);
+    if (predictorEntries > 0)
+        total += predictorArea(predictorEntries, predictorBits);
+    return total;
+}
+
 std::uint32_t
 AreaModel::equalAreaBank0(std::uint32_t baselineRegs, std::uint32_t bits,
                           const std::array<std::uint32_t, 4> &shadowBanks,

@@ -113,6 +113,25 @@ class AreaModel
                          std::uint32_t bitsPerEntry = 2) const;
 
     /**
+     * Per-scheme cost descriptor pricing: the rename-side silicon of
+     * one scheme configuration — both banked register files plus the
+     * side structures the scheme adds (PRT, IQ wakeup-tag growth,
+     * predictor).  Field-for-field the shape of
+     * rename::SchemeAreaDescriptor, passed as plain scalars so this
+     * layer stays free of rename types.  Zero-valued structures
+     * (counterBits / extraTagBits / predictorEntries == 0) cost
+     * nothing, so the baseline scheme prices to its two files alone.
+     */
+    double schemeArea(const std::array<std::uint32_t, 4> &intBanks,
+                      const std::array<std::uint32_t, 4> &fpBanks,
+                      std::uint32_t intBits, std::uint32_t fpBits,
+                      std::uint32_t prtCounterBits,
+                      std::uint32_t iqEntries,
+                      std::uint32_t iqExtraTagBits,
+                      std::uint32_t predictorEntries,
+                      std::uint32_t predictorBits) const;
+
+    /**
      * Solve for the biggest bank-0 size such that the proposed
      * organisation (bank0 + fixed shadow banks + structure overheads)
      * fits in the area of a conventional file of `baselineRegs`

@@ -67,16 +67,13 @@ runOn(const workloads::Workload &w, const RunConfig &config,
     mem::MemSystem mem(config.mem);
     bpred::BranchPredictor bp(config.bpred);
 
-    std::unique_ptr<rename::Renamer> renamer;
-    rename::ReuseRenamer *reuse = nullptr;
-    if (config.scheme == Scheme::Baseline) {
-        renamer =
-            std::make_unique<rename::BaselineRenamer>(config.baseline);
-    } else {
-        auto r = std::make_unique<rename::ReuseRenamer>(config.reuse);
-        reuse = r.get();
-        renamer = std::move(r);
-    }
+    // String-keyed scheme dispatch: the registry (rename/scheme.hh)
+    // builds the renamer, prices it, and reads its counters back, so
+    // this path never names a concrete scheme type.
+    const rename::RenameScheme &scheme =
+        rename::renameScheme(config.scheme);
+    std::unique_ptr<rename::Renamer> renamer =
+        scheme.makeRenamer(config.rename);
 
     core::O3Core core(config.core, *renamer, mem, bp, stream);
 
@@ -88,7 +85,7 @@ runOn(const workloads::Workload &w, const RunConfig &config,
 
     std::unique_ptr<rename::RenameAuditor> auditor;
     const Cycles auditEvery = resolveAuditInterval(config.obs);
-    if (auditEvery > 0) {
+    if (auditEvery > 0 && scheme.auditable()) {
         auditor = std::make_unique<rename::RenameAuditor>();
         core.setAuditor(auditor.get(), auditEvery, auditEvery == 1);
     }
@@ -96,7 +93,7 @@ runOn(const workloads::Workload &w, const RunConfig &config,
     Outcome out;
     obs::OccupancySampler occupancy;
     const bool sampleOccupancy = config.obs.sampleInterval > 0;
-    if ((sampleSharing && reuse) || sampleOccupancy) {
+    if (sampleSharing || sampleOccupancy) {
         // One sampler hook serves both consumers: the Fig. 9 sharing
         // series (legacy) and the obs occupancy time series.  The
         // interval is the obs one when set, the Fig. 9 default (128)
@@ -106,16 +103,16 @@ runOn(const workloads::Workload &w, const RunConfig &config,
         rename::Renamer *ren = renamer.get();
         core.setSampler(
             [&, ren](Tick tick) {
-                if (sampleSharing && reuse) {
+                if (sampleSharing) {
                     out.sharedAtLeast1.push_back(
-                        reuse->sharedAtLeast(RegClass::Int, 1) +
-                        reuse->sharedAtLeast(RegClass::Float, 1));
+                        ren->sharedAtLeast(RegClass::Int, 1) +
+                        ren->sharedAtLeast(RegClass::Float, 1));
                     out.sharedAtLeast2.push_back(
-                        reuse->sharedAtLeast(RegClass::Int, 2) +
-                        reuse->sharedAtLeast(RegClass::Float, 2));
+                        ren->sharedAtLeast(RegClass::Int, 2) +
+                        ren->sharedAtLeast(RegClass::Float, 2));
                     out.sharedAtLeast3.push_back(
-                        reuse->sharedAtLeast(RegClass::Int, 3) +
-                        reuse->sharedAtLeast(RegClass::Float, 3));
+                        ren->sharedAtLeast(RegClass::Int, 3) +
+                        ren->sharedAtLeast(RegClass::Float, 3));
                 }
                 if (sampleOccupancy) {
                     obs::OccupancyPoint p;
@@ -145,19 +142,13 @@ runOn(const workloads::Workload &w, const RunConfig &config,
     out.condAccuracy = bp.condAccuracy();
     out.mispredicts = core.mispredictCount();
     out.exceptions = core.exceptionCount();
-    if (reuse) {
-        out.allocations = reuse->allocationCount();
-        out.reuses = reuse->reuseCount();
-        out.repairs = reuse->repairCount();
-        out.renameStalls = reuse->stallCount();
-        out.historyPeak = static_cast<double>(reuse->historyPeakEntries());
-        out.fig12 = reuse->fig12Counts();
-    } else {
-        auto *base = static_cast<rename::BaselineRenamer *>(renamer.get());
-        out.allocations = base->allocationCount();
-        out.renameStalls = base->stallCount();
-        out.historyPeak = static_cast<double>(base->historyPeakEntries());
-    }
+    const rename::SchemeCounters counters = scheme.counters(*renamer);
+    out.allocations = counters.allocations;
+    out.reuses = counters.reuses;
+    out.repairs = counters.repairs;
+    out.renameStalls = counters.renameStalls;
+    out.historyPeak = counters.historyPeak;
+    out.fig12 = counters.fig12;
     if (auditor) {
         out.auditsRun = auditor->auditCount();
         out.auditViolations = auditor->violationCount();
@@ -165,60 +156,40 @@ runOn(const workloads::Workload &w, const RunConfig &config,
     return out;
 }
 
+namespace {
+
+/** Bridge the reuse scheme's preset tables into the harness type. */
+std::vector<EqualAreaRow>
+bridgePresets(bool paperPreset)
+{
+    std::vector<EqualAreaRow> rows;
+    for (const auto &p : rename::reuseEqualAreaPresets(paperPreset))
+        rows.push_back(EqualAreaRow{p.baselineRegs, p.banks});
+    return rows;
+}
+
+} // namespace
+
 const std::vector<EqualAreaRow> &
 tableIIIPresets()
 {
-    // Paper Table III: baseline size -> {0-sh, 1-sh, 2-sh, 3-sh}.
-    static const std::vector<EqualAreaRow> rows = {
-        {48, {28, 4, 4, 4}},
-        {56, {28, 6, 6, 6}},
-        {64, {36, 6, 6, 6}},
-        {72, {36, 8, 8, 8}},
-        {80, {42, 8, 8, 8}},
-        {96, {58, 8, 8, 8}},
-        {112, {75, 8, 8, 8}},
-    };
+    // Paper Table III rows; the data lives with the reuse scheme
+    // plugin (rename/scheme.cc).
+    static const std::vector<EqualAreaRow> rows = bridgePresets(true);
     return rows;
 }
 
 const std::vector<EqualAreaRow> &
 tunedEqualAreaRows()
 {
-    // Shadow-bank shapes follow this repo's Fig. 9 study (depth-1
-    // reuse dominates); bank 0 is solved for equal area with the
-    // calibrated model: at the core's 12R/6W port counts a shadow cell
-    // costs ~0.11 of a fully-ported register bit-for-bit.
-    static const std::vector<EqualAreaRow> rows = {
-        {48, {34, 8, 2, 2}},
-        {56, {39, 8, 3, 3}},
-        {64, {47, 8, 3, 3}},
-        {72, {53, 10, 3, 3}},
-        {80, {61, 10, 3, 3}},
-        {96, {72, 12, 4, 4}},
-        {112, {88, 12, 4, 4}},
-    };
+    static const std::vector<EqualAreaRow> rows = bridgePresets(false);
     return rows;
 }
 
 rename::BankConfig
 equalAreaBanks(std::uint32_t baselineRegs, bool paperPreset)
 {
-    const auto &rows = paperPreset ? tableIIIPresets()
-                                   : tunedEqualAreaRows();
-    const EqualAreaRow *best = nullptr;
-    for (const auto &row : rows) {
-        if (row.baselineRegs == baselineRegs)
-            return row.banks;
-        if (!best || std::llabs(static_cast<long long>(row.baselineRegs) -
-                                static_cast<long long>(baselineRegs)) <
-                         std::llabs(
-                             static_cast<long long>(best->baselineRegs) -
-                             static_cast<long long>(baselineRegs))) {
-            best = &row;
-        }
-    }
-    rrs_assert(best != nullptr, "no equal-area presets");
-    return best->banks;
+    return rename::reuseEqualAreaBanks(baselineRegs, paperPreset);
 }
 
 rename::BankConfig
@@ -260,23 +231,25 @@ solveEqualAreaTable(const area::AreaModel &model,
 }
 
 RunConfig
-baselineConfig(std::uint32_t regsPerClass)
+schemeConfig(const std::string &scheme, std::uint32_t baselineRegs)
 {
     RunConfig cfg;
-    cfg.scheme = Scheme::Baseline;
-    cfg.baseline = rename::BaselineParams{regsPerClass, regsPerClass};
+    cfg.scheme = scheme;
+    rename::renameScheme(scheme).configureEqualArea(cfg.rename,
+                                                    baselineRegs);
     return cfg;
+}
+
+RunConfig
+baselineConfig(std::uint32_t regsPerClass)
+{
+    return schemeConfig("baseline", regsPerClass);
 }
 
 RunConfig
 reuseConfig(std::uint32_t baselineRegsPerClass)
 {
-    RunConfig cfg;
-    cfg.scheme = Scheme::Reuse;
-    rename::BankConfig banks = equalAreaBanks(baselineRegsPerClass);
-    cfg.reuse.intBanks = banks;
-    cfg.reuse.fpBanks = banks;
-    return cfg;
+    return schemeConfig("reuse", baselineRegsPerClass);
 }
 
 double

@@ -19,8 +19,7 @@
 #include "core/params.hh"
 #include "mem/memsystem.hh"
 #include "obs/stallcause.hh"
-#include "rename/baseline.hh"
-#include "rename/reuse.hh"
+#include "rename/scheme.hh"
 #include "workloads/workloads.hh"
 
 namespace rrs::harness {
@@ -61,18 +60,17 @@ struct ObsOptions
     bool auditDisabled = false;
 };
 
-/** Which renamer a run uses. */
-enum class Scheme {
-    Baseline,
-    Reuse,
-};
-
 /** One timing-run configuration. */
 struct RunConfig
 {
-    Scheme scheme = Scheme::Baseline;
-    rename::BaselineParams baseline;     //!< used when scheme==Baseline
-    rename::ReuseRenamerParams reuse;    //!< used when scheme==Reuse
+    /**
+     * Rename-scheme registry key (rename/scheme.hh), e.g. "baseline"
+     * or "reuse".  Resolve it with rename::findRenameScheme at
+     * config-parse time (the sweep-matrix parser does) so an unknown
+     * name is a diagnostic, never a crash mid-sweep.
+     */
+    std::string scheme = "baseline";
+    rename::SchemeParams rename;         //!< per-scheme parameter blocks
     core::CoreParams core;
     mem::MemSystemParams mem;
     bpred::BPredParams bpred;
@@ -94,7 +92,7 @@ struct Outcome
     double repairs = 0;          //!< reuse scheme
     double renameStalls = 0;
     double historyPeak = 0;      //!< peak rename-history entries
-    rename::ReuseRenamer::Fig12Counts fig12;   //!< reuse scheme
+    rename::PredictorBreakdown fig12;          //!< reuse scheme
 
     // Invariant auditing (0 audits when auditing is off; violations
     // can only be non-zero transiently in tests — the harness check()
@@ -169,9 +167,19 @@ std::vector<rename::BankConfig> solveEqualAreaTable(
     bool chargeOverheads, unsigned threads = 0);
 
 /**
+ * RunConfig for any registered scheme at the baseline-equivalent size
+ * N: the scheme's configureEqualArea hook derives its same-area
+ * configuration (the baseline scheme just takes N registers per
+ * class).  Fatal on an unknown scheme name.
+ */
+RunConfig schemeConfig(const std::string &scheme,
+                       std::uint32_t baselineRegs);
+
+/**
  * Build the standard RunConfig pair for a baseline size N: the
  * baseline renamer with N regs per class, and the proposed renamer
- * with the Table III equal-area bank configuration.
+ * with the Table III equal-area bank configuration.  Shorthands for
+ * schemeConfig("baseline", N) / schemeConfig("reuse", N).
  */
 RunConfig baselineConfig(std::uint32_t regsPerClass);
 RunConfig reuseConfig(std::uint32_t baselineRegsPerClass);

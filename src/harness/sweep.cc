@@ -142,9 +142,7 @@ SweepRunner::run(const std::vector<SweepItem> &items)
     for (std::size_t i = 0; i < items.size(); ++i) {
         RunRecord rec;
         rec.workload = items[i].workload->name;
-        rec.scheme = items[i].config.scheme == Scheme::Baseline
-                         ? "baseline"
-                         : "reuse";
+        rec.scheme = items[i].config.scheme;
         rec.insts = results[i].outcome.sim.committedInsts;
         rec.cycles = results[i].outcome.sim.cycles;
         rec.wallSeconds = results[i].wallSeconds;

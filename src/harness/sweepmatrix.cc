@@ -1,0 +1,286 @@
+#include "sweepmatrix.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/jsonlite.hh"
+#include "rename/scheme.hh"
+
+namespace rrs::harness {
+
+namespace {
+
+using obs::json::Value;
+
+/**
+ * jsonlite keeps object members in document order and does not reject
+ * repeats, so duplicate detection happens here: a matrix with two
+ * "rf_sizes" members is almost certainly a merge accident, and silently
+ * taking one of them would skew the sweep.
+ */
+bool
+checkNoDuplicateKeys(const Value &obj, const std::string &where,
+                     std::string &error)
+{
+    for (std::size_t i = 0; i < obj.members.size(); ++i) {
+        for (std::size_t j = i + 1; j < obj.members.size(); ++j) {
+            if (obj.members[i].first == obj.members[j].first) {
+                error = "sweep matrix: duplicate key '" +
+                        obj.members[i].first + "' in " + where;
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+parseSchemeSpec(const Value &v, SchemeSpec &spec, std::string &error)
+{
+    if (v.isString()) {
+        spec.scheme = v.str;
+    } else if (v.isObject()) {
+        if (!checkNoDuplicateKeys(v, "a scheme entry", error))
+            return false;
+        const Value *name = v.find("scheme");
+        if (!name || !name->isString()) {
+            error = "sweep matrix: scheme entries need a string "
+                    "'scheme' member";
+            return false;
+        }
+        spec.scheme = name->str;
+        for (const auto &[key, val] : v.members) {
+            if (key == "scheme") {
+                continue;
+            } else if (key == "label") {
+                if (!val.isString()) {
+                    error = "sweep matrix: 'label' must be a string";
+                    return false;
+                }
+                spec.label = val.str;
+            } else if (key == "params") {
+                if (!val.isObject()) {
+                    error = "sweep matrix: 'params' must be an object "
+                            "of name: number pairs";
+                    return false;
+                }
+                if (!checkNoDuplicateKeys(val, "the params of scheme '" +
+                                                   spec.scheme + "'",
+                                          error))
+                    return false;
+                for (const auto &[pk, pv] : val.members) {
+                    if (!pv.isNumber() &&
+                        pv.kind() != Value::Kind::Bool) {
+                        error = "sweep matrix: parameter '" + pk +
+                                "' of scheme '" + spec.scheme +
+                                "' must be a number or bool";
+                        return false;
+                    }
+                    double num = pv.isNumber()
+                                     ? pv.num
+                                     : (pv.boolean ? 1.0 : 0.0);
+                    spec.params.emplace_back(pk, num);
+                }
+            } else {
+                error = "sweep matrix: unknown scheme-entry key '" +
+                        key + "' (expected scheme/label/params)";
+                return false;
+            }
+        }
+    } else {
+        error = "sweep matrix: each scheme must be a registry name "
+                "string or an object";
+        return false;
+    }
+    if (spec.label.empty())
+        spec.label = spec.scheme;
+
+    // Resolve the scheme and dry-run every parameter override now:
+    // this is the config-parse-time check that keeps an unknown name
+    // or key from ever reaching a sweep worker.
+    const rename::RenameScheme *scheme =
+        rename::findRenameScheme(spec.scheme);
+    if (!scheme) {
+        std::string known;
+        for (const auto &n : rename::registeredRenameSchemes())
+            known += (known.empty() ? "" : ", ") + n;
+        error = "sweep matrix: unknown rename scheme '" + spec.scheme +
+                "' (registered: " + known + ")";
+        return false;
+    }
+    rename::SchemeParams scratch;
+    for (const auto &[key, val] : spec.params) {
+        if (!scheme->setParam(scratch, key, val)) {
+            std::string keys;
+            for (const auto &k : scheme->paramKeys())
+                keys += (keys.empty() ? "" : ", ") + k;
+            error = "sweep matrix: scheme '" + spec.scheme +
+                    "' has no parameter '" + key + "' (keys: " + keys +
+                    ")";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+tryParseSweepMatrix(const std::string &text, SweepMatrix &out,
+                    std::string &error)
+{
+    Value root;
+    std::string jsonError;
+    if (!obs::json::parse(text, root, &jsonError)) {
+        error = "sweep matrix: " + jsonError;
+        return false;
+    }
+    if (!root.isObject()) {
+        error = "sweep matrix: the document root must be an object";
+        return false;
+    }
+    if (!checkNoDuplicateKeys(root, "the matrix", error))
+        return false;
+
+    SweepMatrix m;
+    bool sawSchemes = false, sawSizes = false;
+    for (const auto &[key, val] : root.members) {
+        if (key == "schemes") {
+            sawSchemes = true;
+            if (!val.isArray()) {
+                error = "sweep matrix: 'schemes' must be an array";
+                return false;
+            }
+            for (const auto &entry : val.arr) {
+                SchemeSpec spec;
+                if (!parseSchemeSpec(entry, spec, error))
+                    return false;
+                m.schemes.push_back(std::move(spec));
+            }
+        } else if (key == "rf_sizes") {
+            sawSizes = true;
+            if (!val.isArray()) {
+                error = "sweep matrix: 'rf_sizes' must be an array";
+                return false;
+            }
+            for (const auto &entry : val.arr) {
+                if (!entry.isNumber() || entry.num <= 0 ||
+                    entry.num != std::floor(entry.num)) {
+                    error = "sweep matrix: 'rf_sizes' entries must be "
+                            "positive integers";
+                    return false;
+                }
+                m.rfSizes.push_back(
+                    static_cast<std::uint32_t>(entry.num));
+            }
+        } else if (key == "cap") {
+            if (!val.isNumber() || val.num <= 0 ||
+                val.num != std::floor(val.num)) {
+                error = "sweep matrix: 'cap' must be a positive "
+                        "integer";
+                return false;
+            }
+            m.cap = static_cast<std::uint64_t>(val.num);
+        } else if (key == "sample_sharing") {
+            if (val.kind() != Value::Kind::Bool) {
+                error = "sweep matrix: 'sample_sharing' must be a bool";
+                return false;
+            }
+            m.sampleSharing = val.boolean;
+        } else if (key == "suite") {
+            if (!val.isString()) {
+                error = "sweep matrix: 'suite' must be a string";
+                return false;
+            }
+            m.suite = val.str;
+        } else if (key == "audit") {
+            if (val.kind() != Value::Kind::Bool) {
+                error = "sweep matrix: 'audit' must be a bool";
+                return false;
+            }
+            m.audit = val.boolean;
+        } else {
+            error = "sweep matrix: unknown key '" + key +
+                    "' (expected schemes/rf_sizes/cap/sample_sharing/"
+                    "suite/audit)";
+            return false;
+        }
+    }
+    if (!sawSchemes || m.schemes.empty()) {
+        error = "sweep matrix: 'schemes' must be a non-empty array";
+        return false;
+    }
+    if (!sawSizes || m.rfSizes.empty()) {
+        error = "sweep matrix: 'rf_sizes' must be a non-empty array";
+        return false;
+    }
+    out = std::move(m);
+    return true;
+}
+
+SweepMatrix
+parseSweepMatrix(const std::string &text)
+{
+    SweepMatrix m;
+    std::string error;
+    if (!tryParseSweepMatrix(text, m, error))
+        rrs_fatal("%s", error.c_str());
+    return m;
+}
+
+SweepMatrix
+loadSweepMatrixFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        rrs_fatal("cannot open sweep matrix file '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    SweepMatrix m;
+    std::string error;
+    if (!tryParseSweepMatrix(text.str(), m, error))
+        rrs_fatal("%s: %s", path.c_str(), error.c_str());
+    return m;
+}
+
+RunConfig
+matrixConfig(const SchemeSpec &spec, std::uint32_t baselineRegs,
+             const SweepMatrix &m, std::uint64_t capDefault)
+{
+    RunConfig cfg = schemeConfig(spec.scheme, baselineRegs);
+    const rename::RenameScheme &scheme =
+        rename::renameScheme(spec.scheme);
+    for (const auto &[key, val] : spec.params) {
+        // Keys were dry-run at parse time; a failure here means the
+        // spec was built by hand with a bad key.
+        if (!scheme.setParam(cfg.rename, key, val))
+            rrs_fatal("scheme '%s' has no parameter '%s'",
+                      spec.scheme.c_str(), key.c_str());
+    }
+    cfg.maxInsts = m.cap > 0 ? m.cap : capDefault;
+    cfg.obs.auditDisabled = !m.audit;
+    return cfg;
+}
+
+std::vector<SweepItem>
+expandSweepMatrix(const SweepMatrix &m,
+                  const std::vector<workloads::Workload> &ws,
+                  std::uint64_t capDefault)
+{
+    std::vector<SweepItem> items;
+    items.reserve(ws.size() * m.rfSizes.size() * m.schemes.size());
+    for (const auto &w : ws) {
+        for (std::uint32_t n : m.rfSizes) {
+            for (const auto &spec : m.schemes) {
+                items.push_back(sweepItem(
+                    w, matrixConfig(spec, n, m, capDefault),
+                    m.sampleSharing));
+            }
+        }
+    }
+    return items;
+}
+
+} // namespace rrs::harness

@@ -50,7 +50,7 @@ class BaselineRenamer : public Renamer
     std::uint32_t maxVersions() const override { return 1; }
 
     /** Current speculative mapping (tests / debugging). */
-    PhysRegTag mapping(RegClass cls, LogRegIndex reg) const;
+    PhysRegTag mapping(RegClass cls, LogRegIndex reg) const override;
 
     /** Aggregate counters for reports. */
     double allocationCount() const { return allocations.value(); }

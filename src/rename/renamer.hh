@@ -79,6 +79,23 @@ enum class RenameStall : std::uint8_t {
     NoFreeReg,
 };
 
+/**
+ * Release-time classification of a scheme's reuse predictions (paper
+ * Fig. 12).  Schemes without a reuse predictor report all zeros.
+ */
+struct PredictorBreakdown
+{
+    double reuseCorrect = 0;
+    double reuseWrong = 0;
+    double noReuseCorrect = 0;
+    double noReuseWrong = 0;
+    double total() const
+    {
+        return reuseCorrect + reuseWrong + noReuseCorrect +
+               noReuseWrong;
+    }
+};
+
 /** Abstract renamer. */
 class Renamer : public stats::Group
 {
@@ -120,6 +137,13 @@ class Renamer : public stats::Group
     /** Current history position (token for "squash nothing"). */
     virtual HistoryToken historyPosition() const = 0;
 
+    /**
+     * Current speculative mapping of a logical register.  Part of the
+     * scheme contract so the conformance kit and the auditor can
+     * snapshot and diff the map table of any scheme.
+     */
+    virtual PhysRegTag mapping(RegClass cls, LogRegIndex reg) const = 0;
+
     /** Free registers available right now in a class. */
     virtual std::uint32_t freeRegs(RegClass cls) const = 0;
 
@@ -132,6 +156,15 @@ class Renamer : public stats::Group
      * observability sampler records this per interval.
      */
     virtual std::uint32_t sharedRegs(RegClass) const { return 0; }
+
+    /**
+     * Registers whose current version counter is >= k (the Fig. 9
+     * sampling series).  Always 0 for schemes without sharing.
+     */
+    virtual std::uint32_t sharedAtLeast(RegClass, std::uint8_t) const
+    {
+        return 0;
+    }
 
     /** Maximum versions a tag can carry (1 for the baseline). */
     virtual std::uint32_t maxVersions() const = 0;

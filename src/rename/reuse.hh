@@ -95,7 +95,8 @@ class ReuseRenamer : public Renamer
     std::uint32_t bankInUse(RegClass cls, int bank) const;
 
     /** Registers whose current version counter is >= k (Fig. 9). */
-    std::uint32_t sharedAtLeast(RegClass cls, std::uint8_t k) const;
+    std::uint32_t sharedAtLeast(RegClass cls,
+                                std::uint8_t k) const override;
 
     std::uint32_t
     sharedRegs(RegClass cls) const override
@@ -104,24 +105,13 @@ class ReuseRenamer : public Renamer
     }
 
     /** Current speculative mapping (tests / debugging). */
-    PhysRegTag mapping(RegClass cls, LogRegIndex reg) const;
+    PhysRegTag mapping(RegClass cls, LogRegIndex reg) const override;
 
     /** The predictor (tests / ablations). */
     RegisterTypePredictor &predictor() { return typePred; }
 
     /** Figure 12 release-time classification counts. */
-    struct Fig12Counts
-    {
-        double reuseCorrect = 0;
-        double reuseWrong = 0;
-        double noReuseCorrect = 0;
-        double noReuseWrong = 0;
-        double total() const
-        {
-            return reuseCorrect + reuseWrong + noReuseCorrect +
-                   noReuseWrong;
-        }
-    };
+    using Fig12Counts = PredictorBreakdown;
     Fig12Counts
     fig12Counts() const
     {

@@ -11,7 +11,6 @@ namespace {
 
 using namespace rrs;
 using harness::RunConfig;
-using harness::Scheme;
 
 std::uint64_t
 emulatedLength(const workloads::Workload &w, std::uint64_t cap)
@@ -25,7 +24,7 @@ emulatedLength(const workloads::Workload &w, std::uint64_t cap)
 struct SweepPoint
 {
     const char *workload;
-    Scheme scheme;
+    const char *scheme;   //!< rename-scheme registry key
     std::uint32_t regs;
 };
 
@@ -40,9 +39,7 @@ TEST_P(PipelineSweep, CommitsExactlyTheStream)
     const std::uint64_t cap = 40'000;
     std::uint64_t expected = emulatedLength(w, cap);
 
-    RunConfig cfg = p.scheme == Scheme::Baseline
-                        ? harness::baselineConfig(p.regs)
-                        : harness::reuseConfig(p.regs);
+    RunConfig cfg = harness::schemeConfig(p.scheme, p.regs);
     cfg.maxInsts = cap;
     auto out = harness::runOn(w, cfg);
     EXPECT_EQ(out.sim.committedInsts, expected);
@@ -52,26 +49,25 @@ TEST_P(PipelineSweep, CommitsExactlyTheStream)
 INSTANTIATE_TEST_SUITE_P(
     Matrix, PipelineSweep,
     ::testing::Values(
-        SweepPoint{"int_sort", Scheme::Baseline, 48},
-        SweepPoint{"int_sort", Scheme::Reuse, 48},
-        SweepPoint{"int_hash", Scheme::Reuse, 56},
-        SweepPoint{"int_graph", Scheme::Baseline, 64},
-        SweepPoint{"int_graph", Scheme::Reuse, 64},
-        SweepPoint{"fp_matmul", Scheme::Baseline, 48},
-        SweepPoint{"fp_matmul", Scheme::Reuse, 48},
-        SweepPoint{"fp_nbody", Scheme::Reuse, 56},
-        SweepPoint{"fp_horner", Scheme::Reuse, 112},
-        SweepPoint{"media_adpcm", Scheme::Reuse, 48},
-        SweepPoint{"media_dct", Scheme::Baseline, 96},
-        SweepPoint{"media_dct", Scheme::Reuse, 96},
-        SweepPoint{"cog_gmm", Scheme::Reuse, 72},
-        SweepPoint{"cog_dnn", Scheme::Baseline, 80},
-        SweepPoint{"cog_dnn", Scheme::Reuse, 80}),
+        SweepPoint{"int_sort", "baseline", 48},
+        SweepPoint{"int_sort", "reuse", 48},
+        SweepPoint{"int_hash", "reuse", 56},
+        SweepPoint{"int_graph", "baseline", 64},
+        SweepPoint{"int_graph", "reuse", 64},
+        SweepPoint{"fp_matmul", "baseline", 48},
+        SweepPoint{"fp_matmul", "reuse", 48},
+        SweepPoint{"fp_nbody", "reuse", 56},
+        SweepPoint{"fp_horner", "reuse", 112},
+        SweepPoint{"media_adpcm", "reuse", 48},
+        SweepPoint{"media_dct", "baseline", 96},
+        SweepPoint{"media_dct", "reuse", 96},
+        SweepPoint{"cog_gmm", "reuse", 72},
+        SweepPoint{"cog_dnn", "baseline", 80},
+        SweepPoint{"cog_dnn", "reuse", 80}),
     [](const auto &info) {
         return std::string(info.param.workload) + "_" +
-               (info.param.scheme == Scheme::Baseline ? "base"
-                                                      : "reuse") +
-               "_" + std::to_string(info.param.regs);
+               info.param.scheme + "_" +
+               std::to_string(info.param.regs);
     });
 
 TEST(PipelineStress, FaultStormStillExact)
@@ -80,10 +76,8 @@ TEST(PipelineStress, FaultStormStillExact)
     // shadow-cell recovery in the reuse scheme.
     const auto &w = workloads::workload("int_hash");
     std::uint64_t expected = emulatedLength(w, 30'000);
-    for (auto scheme : {Scheme::Baseline, Scheme::Reuse}) {
-        RunConfig cfg = scheme == Scheme::Baseline
-                            ? harness::baselineConfig(56)
-                            : harness::reuseConfig(56);
+    for (const char *scheme : {"baseline", "reuse"}) {
+        RunConfig cfg = harness::schemeConfig(scheme, 56);
         cfg.maxInsts = 30'000;
         cfg.core.loadFaultProbability = 0.05;
         auto out = harness::runOn(w, cfg);

@@ -66,7 +66,7 @@ TEST(LockstepOracle, ReuseRenamerEveryWorkload)
     for (const auto &w : workloads::allWorkloads()) {
         SCOPED_TRACE(w.name);
         auto cfg = harness::reuseConfig(64);
-        rename::ReuseRenamer renamer(cfg.reuse);
+        rename::ReuseRenamer renamer(cfg.rename.reuse);
         checkLockstep(w, renamer);
     }
 }

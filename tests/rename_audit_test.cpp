@@ -452,15 +452,12 @@ TEST(RenameAuditProperty, RandomizedInterleavingAllWorkloads)
 TEST(HarnessAudit, EveryCommitAuditingReportsThroughOutcome)
 {
     const auto &w = workloads::allWorkloads().front();
-    for (auto scheme : {harness::Scheme::Baseline, harness::Scheme::Reuse}) {
-        harness::RunConfig cfg = scheme == harness::Scheme::Baseline
-                                     ? harness::baselineConfig(64)
-                                     : harness::reuseConfig(64);
+    for (const auto &scheme : rename::registeredRenameSchemes()) {
+        harness::RunConfig cfg = harness::schemeConfig(scheme, 64);
         cfg.maxInsts = 20000;
         cfg.obs.auditInterval = 1;   // audit after every commit
         auto out = harness::runOn(w, cfg);
-        EXPECT_GT(out.auditsRun, 0.0)
-            << "scheme " << (scheme == harness::Scheme::Reuse);
+        EXPECT_GT(out.auditsRun, 0.0) << "scheme " << scheme;
         EXPECT_EQ(out.auditViolations, 0.0);
         EXPECT_GT(out.historyPeak, 0.0);
     }

@@ -19,8 +19,10 @@
 #include <set>
 
 #include "common/random.hh"
+#include "harness/experiment.hh"
 #include "rename/baseline.hh"
 #include "rename/reuse.hh"
+#include "rename/scheme.hh"
 
 namespace {
 
@@ -318,6 +320,63 @@ TEST(CrossScheme, LogicalDataflowIdentical)
     ASSERT_EQ(b.size(), insts.size());
     EXPECT_EQ(a, b) << "the schemes disagree about who produced a "
                        "consumed value";
+}
+
+/**
+ * The factory's absence contract: an unregistered name is a typed
+ * nullptr from the probe (what the sweep-matrix parser leans on to
+ * fail at config-parse time) — never a crash or a junk scheme.  The
+ * fatal lookup lists what *is* registered so the message from a bench
+ * typo is actionable.
+ */
+TEST(SchemeRegistry, UnknownSchemeIsTypedAbsence)
+{
+    EXPECT_EQ(rename::findRenameScheme("no-such-scheme"), nullptr);
+    EXPECT_EQ(rename::findRenameScheme(""), nullptr);
+    EXPECT_NE(rename::findRenameScheme("baseline"), nullptr);
+    EXPECT_NE(rename::findRenameScheme("reuse"), nullptr);
+
+    const auto names = rename::registeredRenameSchemes();
+    EXPECT_GE(names.size(), 2u);
+
+    EXPECT_EXIT(rename::renameScheme("no-such-scheme"),
+                ::testing::ExitedWithCode(1),
+                "unknown rename scheme 'no-such-scheme'.*registered:"
+                ".*baseline.*reuse");
+}
+
+/**
+ * Scheme hot-swap: alternating schemes between runs on one workload —
+ * what a sweep matrix does constantly — must leave no state behind in
+ * the factory or the trace cache; a config rerun later is bit-identical
+ * to its first run.
+ */
+TEST(SchemeRegistry, HotSwapBetweenRunsIsStateless)
+{
+    const auto &w = workloads::workload("int_crc");
+    auto runWith = [&](const char *scheme) {
+        harness::RunConfig cfg = harness::schemeConfig(scheme, 56);
+        cfg.maxInsts = 10'000;
+        return harness::runOn(w, cfg);
+    };
+
+    auto base1 = runWith("baseline");
+    auto prop1 = runWith("reuse");
+    auto base2 = runWith("baseline");
+    auto prop2 = runWith("reuse");
+
+    EXPECT_EQ(base1.sim.cycles, base2.sim.cycles);
+    EXPECT_EQ(base1.allocations, base2.allocations);
+    EXPECT_EQ(base1.renameStalls, base2.renameStalls);
+    EXPECT_EQ(prop1.sim.cycles, prop2.sim.cycles);
+    EXPECT_EQ(prop1.allocations, prop2.allocations);
+    EXPECT_EQ(prop1.reuses, prop2.reuses);
+    EXPECT_EQ(prop1.repairs, prop2.repairs);
+
+    // The two schemes really ran as themselves: reuse shares, the
+    // baseline never does.
+    EXPECT_GT(prop1.reuses, 0.0);
+    EXPECT_EQ(base1.reuses, 0.0);
 }
 
 } // namespace
