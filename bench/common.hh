@@ -221,6 +221,18 @@ init(int argc, char **argv)
         statsJsonPath() = env;
     if (const char *env = std::getenv("RRS_BENCH_JSON"))
         benchJsonDir() = env;
+    // Label telemetry traces with this binary's name so a directory of
+    // RRS_TELEMETRY exports stays attributable per bench.  argv[0] is
+    // used (rather than the finish() name) because sweeps run between
+    // init and finish and the label must be set before the first one.
+    if (argc > 0 && argv[0] != nullptr && *argv[0] != '\0') {
+        std::string label(argv[0]);
+        const std::size_t slash = label.find_last_of('/');
+        if (slash != std::string::npos)
+            label.erase(0, slash + 1);
+        if (!label.empty())
+            sweeper().setTelemetryLabel(std::move(label));
+    }
     std::vector<std::string> rest;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--stats-json") == 0) {
@@ -292,8 +304,11 @@ finish(const std::string &name)
     const std::string &path = statsJsonPath();
     if (!path.empty()) {
         std::ostringstream os;
-        os << "{\n  \"bench\": \"" << name << "\",\n  \"sweep\": ";
+        os << "{\n  \"bench\": " << stats::jsonQuoted(name)
+           << ",\n  \"sweep\": ";
         sweeper().dumpJson(os, 2);
+        os << ",\n  \"metric_schema\": ";
+        sweeper().dumpSchema(os, 2);
         os << ",\n  \"trace_cache\": ";
         harness::traceCache().dumpJson(os, 2);
         if (obs::Profiler::enabled()) {

@@ -3,11 +3,46 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace rrs {
 
 namespace {
+
+/**
+ * Crash-hook registry.  Guarded by its own mutex (not the log sink's)
+ * so hooks can log while they dump.  runCrashHooks() fires each hook
+ * at most once per process: the first panic/fatal drains the list, a
+ * second crash (including one raised from inside a hook) finds it
+ * empty and falls straight through to abort()/exit().
+ */
+struct CrashHooks
+{
+    std::mutex mtx;
+    std::vector<std::pair<std::uint64_t, std::function<void()>>> hooks;
+    std::uint64_t nextId = 1;
+};
+
+CrashHooks &
+crashHooks()
+{
+    static CrashHooks *h = new CrashHooks;  // leaked: usable at exit
+    return *h;
+}
+
+void
+runCrashHooks()
+{
+    std::vector<std::pair<std::uint64_t, std::function<void()>>> toRun;
+    {
+        std::lock_guard<std::mutex> lock(crashHooks().mtx);
+        toRun.swap(crashHooks().hooks);
+    }
+    for (auto &[id, hook] : toRun)
+        if (hook)
+            hook();
+}
 
 /**
  * One mutex-guarded sink for every log line.  warn()/inform() are
@@ -40,6 +75,28 @@ logLine(std::FILE *to, const char *prefix, const std::string &msg,
 }
 
 } // namespace
+
+std::uint64_t
+addCrashHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(crashHooks().mtx);
+    const std::uint64_t id = crashHooks().nextId++;
+    crashHooks().hooks.emplace_back(id, std::move(hook));
+    return id;
+}
+
+void
+removeCrashHook(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(crashHooks().mtx);
+    auto &hooks = crashHooks().hooks;
+    for (auto it = hooks.begin(); it != hooks.end(); ++it) {
+        if (it->first == id) {
+            hooks.erase(it);
+            return;
+        }
+    }
+}
 
 std::string
 vformatString(const char *fmt, va_list args)
@@ -74,6 +131,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_end(args);
     logLine(stderr, "panic: ", msg,
             formatString(" (%s:%d)", file, line));
+    runCrashHooks();
     std::abort();
 }
 
@@ -86,6 +144,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_end(args);
     logLine(stderr, "fatal: ", msg,
             formatString(" (%s:%d)", file, line));
+    runCrashHooks();
     std::exit(1);
 }
 

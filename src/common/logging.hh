@@ -23,9 +23,30 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 namespace rrs {
+
+/**
+ * Register a hook that panic()/fatal() run after printing their last
+ * words and before abort()/exit().  The flight recorder uses this to
+ * dump its ring buffer next to the crash message, turning a one-line
+ * invariant violation into a forensic report.
+ *
+ * Hooks run at most once per process (the first crash wins; a crash
+ * from inside a hook does not recurse), in registration order, with
+ * the log-sink mutex *not* held so they may log.  Returns an id for
+ * removeCrashHook().
+ *
+ * Thread safety: registration and the crash path share one mutex.
+ * Hooks must be safe to run from whatever thread crashes.
+ */
+std::uint64_t addCrashHook(std::function<void()> hook);
+
+/** Unregister a hook (e.g. when its flight recorder dies first). */
+void removeCrashHook(std::uint64_t id);
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/flightrec.hh"
 #include "obs/pipetrace.hh"
 #include "rename/audit.hh"
 
@@ -203,6 +204,26 @@ O3Core::scheduleCompletion(InFlight &inst)
 }
 
 void
+O3Core::recordFlight(obs::FlightEventKind kind, std::uint64_t seq,
+                     const rename::PhysRegTag *tag)
+{
+    obs::FlightEvent e;
+    e.cycle = now;
+    e.seq = seq;
+    e.kind = kind;
+    if (tag && tag->valid()) {
+        e.cls = tag->cls == RegClass::Float ? 1 : 0;
+        e.reg = static_cast<std::uint16_t>(tag->reg);
+        e.version = tag->version;
+    }
+    e.freeInt =
+        static_cast<std::int32_t>(renamer.freeRegs(RegClass::Int));
+    e.freeFp =
+        static_cast<std::int32_t>(renamer.freeRegs(RegClass::Float));
+    flightRec->record(e);
+}
+
+void
 O3Core::squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
                     std::uint32_t *recoveries)
 {
@@ -231,6 +252,8 @@ O3Core::squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
     std::uint32_t rec = renamer.squashTo(token, produced);
     if (recoveries)
         *recoveries = rec;
+    if (flightRec)
+        recordFlight(obs::FlightEventKind::Squash, fetchSeq, nullptr);
     if (auditor)
         auditor->check(renamer, "post-squash");
 
@@ -337,6 +360,8 @@ O3Core::flushAll(Cycles extraPenalty)
         fetchQueue.clear();
     }
 
+    if (flightRec)
+        recordFlight(obs::FlightEventKind::Flush, 0, nullptr);
     if (auditor)
         auditor->check(renamer, "post-flush");
 
@@ -389,6 +414,10 @@ O3Core::commitStage()
         }
 
         renamer.commit(head.rr);
+        if (flightRec) {
+            recordFlight(obs::FlightEventKind::Commit, head.fetchSeq,
+                         head.rr.hasDest ? &head.rr.destTag : nullptr);
+        }
         if (auditor && auditEveryCommit)
             auditor->check(renamer, "post-commit");
         if (head.di.isStore())
@@ -523,6 +552,10 @@ O3Core::renameStage()
             ++renameStallNoReg;
             renameBlock = RenameBlock::NoReg;
             break;
+        }
+        if (flightRec) {
+            recordFlight(obs::FlightEventKind::Alloc, cand.fetchSeq,
+                         rr.hasDest ? &rr.destTag : nullptr);
         }
 
         // Repair micro-ops consume rename bandwidth and produce their

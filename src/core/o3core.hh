@@ -40,6 +40,8 @@
 
 namespace rrs::obs {
 class PipeTracer;
+class FlightRecorder;
+enum class FlightEventKind : std::uint8_t;
 }
 
 namespace rrs::rename {
@@ -103,6 +105,16 @@ class O3Core : public stats::Group
         auditInterval = interval;
         auditEveryCommit = everyCommit;
     }
+
+    /**
+     * Attach a crash-time flight recorder (obs/flightrec.hh).  Same
+     * cached-pointer pattern as the tracer and auditor: the core
+     * records an event per rename allocation, commit, squash and
+     * flush — cycle, destination tag and free-list depths — and pays
+     * one never-taken branch per hook site when detached.  Call
+     * before run().
+     */
+    void setFlightRecorder(obs::FlightRecorder *fr) { flightRec = fr; }
 
     /** Committed-IPC of the finished run. */
     const SimResult &result() const { return simResult; }
@@ -174,6 +186,8 @@ class O3Core : public stats::Group
     void squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
                      std::uint32_t *recoveries);
     void flushAll(Cycles extraPenalty);
+    void recordFlight(obs::FlightEventKind kind, std::uint64_t seq,
+                      const rename::PhysRegTag *tag);
     InFlight *findBySeq(std::uint64_t fetchSeq);
 
     std::uint32_t tagIndex(const rename::PhysRegTag &tag) const;
@@ -225,6 +239,7 @@ class O3Core : public stats::Group
     // Observability: cached tracer pointer (null = tracing disabled)
     // and the per-cycle attribution state consumed by accountCycle().
     obs::PipeTracer *tracer = nullptr;
+    obs::FlightRecorder *flightRec = nullptr;
     rename::RenameAuditor *auditor = nullptr;
     Cycles auditInterval = 0;
     bool auditEveryCommit = false;

@@ -195,6 +195,11 @@ collectBenchResult(const std::string &bench, const SweepRunner &runner)
     r.instsCaptured = s.instsCaptured;
     r.instsReplayed = s.instsReplayed;
     r.footer = formatSweepFooter(s);
+    {
+        std::ostringstream schema;
+        runner.dumpSchema(schema, 2);
+        r.metricSchema = schema.str();
+    }
     if (obs::Profiler::enabled())
         collectPhases(obs::Profiler::instance().runTree(), "", r.phases);
     return r;
@@ -244,6 +249,8 @@ renderBenchJson(const BenchResult &r)
         first = false;
     }
     os << (first ? "" : "\n  ") << "],\n"
+       << "  \"metric_schema\": "
+       << (r.metricSchema.empty() ? "{}" : r.metricSchema) << ",\n"
        << "  \"footer\": " << jsonStr(r.footer) << "\n"
        << "}\n";
     return os.str();
@@ -456,6 +463,83 @@ diffBenchResults(const BenchResult &base, const BenchResult &cur,
         os << buf;
         if (gate && std::fabs(d) > opts.throughputThresholdPct)
             exitCode = exitCode == 0 ? 1 : exitCode;
+    }
+
+    // Phase-profile pass: host wall clock per phase, so always
+    // warn-only.  Rows pair up by path; a phase present on only one
+    // side is still shown (profiling config changed, or the code path
+    // moved) with "-" standing in for the missing side.
+    if (!base.phases.empty() || !cur.phases.empty()) {
+        struct PhasePair
+        {
+            std::string path;
+            const BenchResult::PhaseRow *b = nullptr;
+            const BenchResult::PhaseRow *c = nullptr;
+        };
+        std::vector<PhasePair> pairs;
+        auto slot = [&pairs](const std::string &path) -> PhasePair & {
+            for (auto &p : pairs) {
+                if (p.path == path)
+                    return p;
+            }
+            pairs.push_back({path, nullptr, nullptr});
+            return pairs.back();
+        };
+        for (const auto &ph : base.phases)
+            slot(ph.path).b = &ph;
+        for (const auto &ph : cur.phases)
+            slot(ph.path).c = &ph;
+
+        auto secs = [](const BenchResult::PhaseRow *r) {
+            return r ? jsonNum(r->seconds).substr(0, 9)
+                     : std::string("-");
+        };
+        auto p95 = [](const BenchResult::PhaseRow *r) {
+            char buf[32];
+            if (!r)
+                return std::string("-");
+            std::snprintf(buf, sizeof(buf), "%.0f", r->p95Us);
+            return std::string(buf);
+        };
+        os << "phase profile (host wall clock, warn-only):\n";
+        if (opts.markdown) {
+            os << "| phase | base s | cur s | delta | base p95 us "
+               << "| cur p95 us |\n"
+               << "|---|---:|---:|---:|---:|---:|\n";
+        } else {
+            char buf[192];
+            std::snprintf(buf, sizeof(buf),
+                          "  %-24s %10s %10s %9s %12s %12s\n", "phase",
+                          "base_s", "cur_s", "delta", "base_p95_us",
+                          "cur_p95_us");
+            os << buf;
+        }
+        for (const auto &p : pairs) {
+            std::string delta = "-";
+            if (p.b && p.c && p.b->seconds > 0) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                              pctDelta(p.b->seconds, p.c->seconds));
+                delta = buf;
+            } else if (!p.b) {
+                delta = "new";
+            } else if (!p.c) {
+                delta = "gone";
+            }
+            if (opts.markdown) {
+                os << "| " << p.path << " | " << secs(p.b) << " | "
+                   << secs(p.c) << " | " << delta << " | " << p95(p.b)
+                   << " | " << p95(p.c) << " |\n";
+            } else {
+                char buf[256];
+                std::snprintf(buf, sizeof(buf),
+                              "  %-24s %10s %10s %9s %12s %12s\n",
+                              p.path.c_str(), secs(p.b).c_str(),
+                              secs(p.c).c_str(), delta.c_str(),
+                              p95(p.b).c_str(), p95(p.c).c_str());
+                os << buf;
+            }
+        }
     }
     return exitCode;
 }

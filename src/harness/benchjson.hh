@@ -69,6 +69,15 @@ struct BenchResult
     /** The formatSweepFooter() string the bench printed. */
     std::string footer;
 
+    /**
+     * The sweep's metric schema (stats::Group::dumpSchema): one entry
+     * per stat, dotted name -> {kind, unit, desc}, pre-rendered as a
+     * JSON object.  Lets rrs-benchdiff and the future experiment
+     * ledger discover metrics instead of hard-coding their names.
+     * Empty renders as {}.
+     */
+    std::string metricSchema;
+
     /** One per-run profiler phase (present when RRS_PROF/--prof). */
     struct PhaseRow
     {

@@ -7,9 +7,11 @@
 #include "common/threadpool.hh"
 #include "core/o3core.hh"
 #include "harness/tracecache.hh"
+#include "obs/flightrec.hh"
 #include "obs/pipetrace.hh"
 #include "obs/profiler.hh"
 #include "obs/sampler.hh"
+#include "obs/telemetry.hh"
 #include "rename/audit.hh"
 
 namespace rrs::harness {
@@ -53,6 +55,36 @@ resolveAuditInterval(const ObsOptions &obs)
 #endif
 }
 
+/**
+ * The process-wide flight-recorder default from RRS_FLIGHTREC_DEPTH:
+ * -1 when unset, otherwise the ring depth (0 disables).  Parsed at
+ * static init for the same die-before-the-sweep reason as RRS_AUDIT.
+ */
+const long long envFlightRecDepth = [] {
+    const char *env = std::getenv("RRS_FLIGHTREC_DEPTH");
+    if (!env)
+        return -1LL;
+    char *end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0)
+        rrs_fatal("RRS_FLIGHTREC_DEPTH must be a non-negative integer, "
+                  "got '%s'", env);
+    return v;
+}();
+
+/** Resolve a run's flight-recorder depth (0 = recorder off). */
+std::uint32_t
+resolveFlightRecDepth(const ObsOptions &obs, bool auditingOn)
+{
+    if (obs.flightRecDepth > 0)
+        return obs.flightRecDepth;
+    if (envFlightRecDepth >= 0)
+        return static_cast<std::uint32_t>(envFlightRecDepth);
+    // Auditing on with no explicit depth: keep forensics for the
+    // violation the auditor might find.
+    return auditingOn ? 256u : 0u;
+}
+
 } // namespace
 
 Outcome
@@ -85,15 +117,37 @@ runOn(const workloads::Workload &w, const RunConfig &config,
 
     std::unique_ptr<rename::RenameAuditor> auditor;
     const Cycles auditEvery = resolveAuditInterval(config.obs);
-    if (auditEvery > 0 && scheme.auditable()) {
+    const bool auditing = auditEvery > 0 && scheme.auditable();
+    if (auditing) {
         auditor = std::make_unique<rename::RenameAuditor>();
         core.setAuditor(auditor.get(), auditEvery, auditEvery == 1);
     }
 
+    // Crash-time forensics: keep the last N rename/pipeline events so
+    // a panic (e.g. an audit violation) or fatal dumps what the rename
+    // stage just did, along with the run's identity.
+    std::unique_ptr<obs::FlightRecorder> flightRec;
+    const std::uint32_t frDepth =
+        resolveFlightRecDepth(config.obs, auditing);
+    if (frDepth > 0) {
+        flightRec = std::make_unique<obs::FlightRecorder>(frDepth);
+        flightRec->setContext("workload", w.name);
+        flightRec->setContext("scheme", config.scheme);
+        flightRec->setContext("sweep_seed",
+                              std::to_string(config.core.seed));
+        flightRec->setContext("max_insts",
+                              std::to_string(config.maxInsts));
+        flightRec->setContext("audit_interval",
+                              std::to_string(auditEvery));
+        flightRec->arm();
+        core.setFlightRecorder(flightRec.get());
+    }
+
     Outcome out;
+    obs::RunTelemetry *telem = config.obs.telemetry;
     obs::OccupancySampler occupancy;
     const bool sampleOccupancy = config.obs.sampleInterval > 0;
-    if (sampleSharing || sampleOccupancy) {
+    if (sampleSharing || sampleOccupancy || telem) {
         // One sampler hook serves both consumers: the Fig. 9 sharing
         // series (legacy) and the obs occupancy time series.  The
         // interval is the obs one when set, the Fig. 9 default (128)
@@ -114,7 +168,7 @@ runOn(const workloads::Workload &w, const RunConfig &config,
                         ren->sharedAtLeast(RegClass::Int, 3) +
                         ren->sharedAtLeast(RegClass::Float, 3));
                 }
-                if (sampleOccupancy) {
+                if (sampleOccupancy || telem) {
                     obs::OccupancyPoint p;
                     p.freeInt = ren->freeRegs(RegClass::Int);
                     p.freeFp = ren->freeRegs(RegClass::Float);
@@ -123,7 +177,21 @@ runOn(const workloads::Workload &w, const RunConfig &config,
                     p.rob = core.robSize();
                     p.iq = core.iqSize();
                     p.lsq = core.lsqSize();
-                    occupancy.record(tick, p);
+                    if (sampleOccupancy)
+                        occupancy.record(tick, p);
+                    if (telem) {
+                        // Cycle-stamped counter samples: simulated
+                        // time, so the exported trace is identical
+                        // for every thread count.
+                        telem->counter(
+                            "occupancy", tick,
+                            {{"freeInt", static_cast<double>(p.freeInt)},
+                             {"freeFp", static_cast<double>(p.freeFp)},
+                             {"shared", static_cast<double>(p.shared)},
+                             {"rob", static_cast<double>(p.rob)},
+                             {"iq", static_cast<double>(p.iq)},
+                             {"lsq", static_cast<double>(p.lsq)}});
+                    }
                 }
             },
             interval);
@@ -152,6 +220,26 @@ runOn(const workloads::Workload &w, const RunConfig &config,
     if (auditor) {
         out.auditsRun = auditor->auditCount();
         out.auditViolations = auditor->violationCount();
+    }
+    if (telem) {
+        // The run's spans, in the simulated-time domain (ts/dur are
+        // cycles): a "run" umbrella with the identifying args, and the
+        // "simulate" phase nested inside it.  Everything recorded here
+        // is an Outcome-class quantity, so the trace inherits the
+        // sweep's bit-identical-across-thread-counts contract.
+        telem->setTitle(w.name + " x " + config.scheme);
+        obs::TelemetrySpan &run = telem->span("run", 0, out.sim.cycles);
+        obs::argStr(run, "workload", w.name);
+        obs::argStr(run, "scheme", config.scheme);
+        obs::argInt(run, "seed", config.core.seed);
+        obs::argInt(run, "insts", out.sim.committedInsts);
+        obs::argInt(run, "cycles", out.sim.cycles);
+        obs::argNum(run, "ipc", out.sim.ipc());
+        obs::TelemetrySpan &sim =
+            telem->span("simulate", 0, out.sim.cycles);
+        obs::argInt(sim, "insts", out.sim.committedInsts);
+        obs::argNum(sim, "rename_stalls", out.renameStalls);
+        obs::argNum(sim, "mispredicts", out.mispredicts);
     }
     return out;
 }

@@ -22,6 +22,10 @@
 #include "rename/scheme.hh"
 #include "workloads/workloads.hh"
 
+namespace rrs::obs {
+class RunTelemetry;
+}
+
 namespace rrs::harness {
 
 /**
@@ -58,6 +62,25 @@ struct ObsOptions
 
     /** Force auditing off even if RRS_AUDIT / the debug default set it. */
     bool auditDisabled = false;
+
+    /**
+     * Telemetry event buffer (obs/telemetry.hh).  Non-null: the run
+     * records its spans ("run", "simulate") and occupancy counter
+     * samples into the buffer; the sweep runner owns one buffer per
+     * submission index and serialises them post-join (RRS_TELEMETRY).
+     * Null (the default): no telemetry work at all.
+     */
+    obs::RunTelemetry *telemetry = nullptr;
+
+    /**
+     * Crash-time flight recorder depth (obs/flightrec.hh): how many
+     * recent rename/pipeline events to keep for the crash dump.
+     * 0 defers to RRS_FLIGHTREC_DEPTH — and when that is unset too,
+     * auditing (RRS_AUDIT) being on implies a default depth of 256,
+     * so an audit violation always dumps forensics.  Any positive
+     * value forces the recorder on at that depth.
+     */
+    std::uint32_t flightRecDepth = 0;
 };
 
 /** One timing-run configuration. */

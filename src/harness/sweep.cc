@@ -7,6 +7,8 @@
 #include "common/logging.hh"
 #include "harness/tracecache.hh"
 #include "obs/profiler.hh"
+#include "obs/progress.hh"
+#include "obs/telemetry.hh"
 
 namespace rrs::harness {
 
@@ -87,6 +89,19 @@ SweepRunner::run(const std::vector<SweepItem> &items)
     obs::ScopedPhase sweepPhase("sweep");
     std::vector<obs::PhaseTree> runTrees(prof ? items.size() : 0);
 
+    // Telemetry (obs/telemetry.hh): one pre-sized buffer per run —
+    // same single-writer-then-merge discipline as the stats slots and
+    // the profiler trees, so the exported trace is bit-identical for
+    // every thread count.
+    const std::string telemetryOut = obs::telemetryDir();
+    std::vector<obs::RunTelemetry> runTelem(
+        telemetryOut.empty() ? 0 : items.size());
+
+    // Live heartbeat (obs/progress.hh): stderr only, so stdout tables
+    // and the footer stay byte-identical with progress on or off.
+    obs::ProgressReporter progress(
+        items.size(), obs::ProgressReporter::enabledByEnv());
+
     const auto sweepStart = Clock::now();
     const TraceCache::Counters cacheBefore = traceCache().counters();
     pool.parallelFor(items.size(), [&](std::size_t i) {
@@ -95,6 +110,9 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         obs::Profiler::Bind bind(prof ? &runTrees[i] : nullptr);
         RunConfig cfg = item.config;
         cfg.core.seed = sweepSeed(cfg.core.seed, i);
+        if (!runTelem.empty())
+            cfg.obs.telemetry = &runTelem[i];
+        progress.beginRun(i, item.workload->name + " x " + cfg.scheme);
 
         // Per-run trace files, named by submission index so the set of
         // files depends only on the sweep, never on the schedule.
@@ -119,7 +137,9 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         rs.wall.sample(results[i].wallSeconds);
         rs.ipcPct.sample(static_cast<std::uint64_t>(
             100.0 * results[i].outcome.sim.ipc()));
+        progress.endRun(i, results[i].outcome.sim.committedInsts);
     });
+    progress.finish();
     const std::chrono::duration<double> sweepDt =
         Clock::now() - sweepStart;
     const TraceCache::Counters cacheAfter = traceCache().counters();
@@ -165,6 +185,25 @@ SweepRunner::run(const std::vector<SweepItem> &items)
     }
     auditChecks = audits;
     auditViolations = auditBad;
+
+    // Serialise the telemetry buffers in submission order (the trace
+    // tid is the run index) — post-join, like every other merge here,
+    // so the file bytes never depend on the execution schedule.
+    telemetryPath.clear();
+    if (!runTelem.empty()) {
+        obs::TelemetrySweepInfo info;
+        info.label = telemetryLabel;
+        info.runs = items.size();
+        info.capturedInsts =
+            cacheAfter.capturedInsts - cacheBefore.capturedInsts;
+        info.replayedInsts =
+            cacheAfter.replayedInsts - cacheBefore.replayedInsts;
+        std::vector<const obs::RunTelemetry *> buffers;
+        buffers.reserve(runTelem.size());
+        for (const obs::RunTelemetry &rt : runTelem)
+            buffers.push_back(&rt);
+        telemetryPath = obs::writeSweepTrace(telemetryOut, info, buffers);
+    }
 
     lastSummary = SweepSummary{};
     lastSummary.threads = pool.numThreads();

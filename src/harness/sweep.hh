@@ -180,6 +180,19 @@ class SweepRunner : public stats::Group
     }
     const std::string &getTracePrefix() const { return tracePrefix; }
 
+    /**
+     * Label for telemetry trace files: sweeps export to
+     * "<RRS_TELEMETRY>/<label>_sweep<n>.trace.json".  Benches set this
+     * to their name (bench::init does); defaults to "sweep".
+     */
+    void setTelemetryLabel(std::string label)
+    {
+        telemetryLabel = std::move(label);
+    }
+
+    /** Path of the trace written by the most recent run() ("" if none). */
+    const std::string &lastTelemetryPath() const { return telemetryPath; }
+
     /** Like run(), discarding the per-run wall clocks. */
     std::vector<Outcome> outcomes(const std::vector<SweepItem> &items);
 
@@ -207,6 +220,8 @@ class SweepRunner : public stats::Group
     ThreadPool pool;
     SweepSummary lastSummary;
     std::string tracePrefix;
+    std::string telemetryLabel = "sweep";
+    std::string telemetryPath;
     std::vector<RunRecord> records;
 
     // Sweep-lifetime aggregates, fed through the post-join stats merge

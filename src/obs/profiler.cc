@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "stats/stats.hh"
 
 namespace rrs::obs {
 
@@ -68,7 +69,8 @@ dumpNodeJson(std::ostream &os, const PhaseNode &node)
         if (!first)
             os << ", ";
         first = false;
-        os << "\"" << c->name << "\": ";
+        stats::jsonEscape(os, c->name);
+        os << ": ";
         dumpNodeJson(os, *c);
     }
     os << "}}";
@@ -333,8 +335,9 @@ Profiler::dumpJson(std::ostream &os, int indent) const
         if (!first)
             os << ",";
         first = false;
-        os << "\n" << pad << "  \"" << path << "\": {\"count\": "
-           << agg.count << ", \"seconds\": ";
+        os << "\n" << pad << "  ";
+        stats::jsonEscape(os, path);
+        os << ": {\"count\": " << agg.count << ", \"seconds\": ";
         jsonNumber(os, agg.seconds);
         os << ", \"p50_us\": ";
         jsonNumber(os, agg.perRunUs->percentile(50));

@@ -8,13 +8,15 @@ namespace rrs::obs {
 
 OccupancySampler::OccupancySampler(stats::Group *parent)
     : stats::Group("occupancy", parent),
-      freeIntSeries(this, "freeInt", "free int physical registers"),
-      freeFpSeries(this, "freeFp", "free fp physical registers"),
+      freeIntSeries(this, "freeInt", "free int physical registers",
+                    "regs"),
+      freeFpSeries(this, "freeFp", "free fp physical registers",
+                   "regs"),
       sharedSeries(this, "shared",
-                   "physical registers holding >= 2 values"),
-      robSeries(this, "rob", "ROB occupancy"),
-      iqSeries(this, "iq", "IQ occupancy"),
-      lsqSeries(this, "lsq", "LQ+SQ occupancy")
+                   "physical registers holding >= 2 values", "regs"),
+      robSeries(this, "rob", "ROB occupancy", "insts"),
+      iqSeries(this, "iq", "IQ occupancy", "insts"),
+      lsqSeries(this, "lsq", "LQ+SQ occupancy", "insts")
 {
 }
 
@@ -32,7 +34,18 @@ OccupancySampler::record(Tick tick, const OccupancyPoint &p)
 void
 OccupancySampler::writeCsv(std::ostream &os) const
 {
-    os << "tick,freeInt,freeFp,shared,rob,iq,lsq\n";
+    // Header: column names with their units, drawn from the stats
+    // themselves so a renamed or re-united series can never disagree
+    // with its column (format documented in DESIGN §Observability).
+    os << "tick [cycles]";
+    for (const stats::TimeSeries *s :
+         {&freeIntSeries, &freeFpSeries, &sharedSeries, &robSeries,
+          &iqSeries, &lsqSeries}) {
+        os << "," << s->name();
+        if (!s->unit().empty())
+            os << " [" << s->unit() << "]";
+    }
+    os << "\n";
     const auto &base = freeIntSeries.raw();
     for (std::size_t i = 0; i < base.size(); ++i) {
         os << base[i].tick << "," << base[i].value << ","

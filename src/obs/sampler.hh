@@ -44,7 +44,12 @@ class OccupancySampler : public stats::Group
 
     std::uint64_t samples() const { return freeIntSeries.samples(); }
 
-    /** Wide CSV: tick,freeInt,freeFp,shared,rob,iq,lsq. */
+    /**
+     * Wide CSV, one column per series.  The header carries names and
+     * units drawn from the stats themselves
+     * ("tick [cycles],freeInt [regs],...,lsq [insts]"); format
+     * documented in DESIGN.md §4c Observability.
+     */
     void writeCsv(std::ostream &os) const;
 
     /** writeCsv() into a file (fatal if it cannot be opened). */

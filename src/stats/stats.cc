@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -27,9 +28,10 @@ jsonNumber(std::ostream &os, double v)
     os << buf;
 }
 
-/** Write a JSON string literal with the required escapes. */
+} // namespace
+
 void
-jsonString(std::ostream &os, const std::string &s)
+jsonEscape(std::ostream &os, const std::string &s)
 {
     os << '"';
     for (char c : s) {
@@ -52,13 +54,42 @@ jsonString(std::ostream &os, const std::string &s)
     os << '"';
 }
 
+std::string
+jsonQuoted(const std::string &s)
+{
+    std::ostringstream os;
+    jsonEscape(os, s);
+    return os.str();
+}
+
+namespace {
+
+/** Local alias so the existing emitters read unchanged. */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    jsonEscape(os, s);
+}
+
 } // namespace
 
-StatBase::StatBase(Group *parent, std::string name, std::string desc)
-    : statName(std::move(name)), statDesc(std::move(desc))
+StatBase::StatBase(Group *parent, std::string name, std::string desc,
+                   std::string unit)
+    : statName(std::move(name)), statDesc(std::move(desc)),
+      statUnit(std::move(unit))
 {
     rrs_assert(parent != nullptr, "stat needs a parent group");
     parent->addStat(this);
+}
+
+void
+StatBase::dumpSchema(std::ostream &os) const
+{
+    os << "{\"kind\": \"" << kind() << "\", \"unit\": ";
+    jsonString(os, statUnit);
+    os << ", \"desc\": ";
+    jsonString(os, statDesc);
+    os << "}";
 }
 
 void
@@ -311,6 +342,36 @@ Group::dumpJson(std::ostream &os, int indent) const
         os << ": ";
         child->dumpJson(os, indent + 2);
     }
+    if (!first)
+        os << "\n" << std::string(static_cast<std::size_t>(indent), ' ');
+    os << "}";
+}
+
+void
+Group::dumpSchemaEntries(std::ostream &os, const std::string &prefix,
+                         const std::string &pad, bool &first) const
+{
+    const std::string self = prefix + groupName + ".";
+    for (const auto *stat : statList) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n" << pad;
+        jsonString(os, self + stat->name());
+        os << ": ";
+        stat->dumpSchema(os);
+    }
+    for (const auto *child : children)
+        child->dumpSchemaEntries(os, self, pad, first);
+}
+
+void
+Group::dumpSchema(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    os << "{";
+    bool first = true;
+    dumpSchemaEntries(os, "", pad, first);
     if (!first)
         os << "\n" << std::string(static_cast<std::size_t>(indent), ' ');
     os << "}";

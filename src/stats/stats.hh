@@ -30,11 +30,25 @@ namespace rrs::stats {
 
 class Group;
 
+/**
+ * Write `s` to `os` as a JSON string literal: surrounding quotes plus
+ * the escapes the grammar requires (quote, backslash, \n \t \r, other
+ * control characters as \uXXXX).  This is the one escaper every JSON
+ * emitter in the tree should use — workload and scheme names are user
+ * input (sweep matrices take arbitrary strings) and must survive a
+ * jsonlite round trip.
+ */
+void jsonEscape(std::ostream &os, const std::string &s);
+
+/** jsonEscape into a fresh string (for stream-free call sites). */
+std::string jsonQuoted(const std::string &s);
+
 /** Base class for every statistic: a name, a description, a dump. */
 class StatBase
 {
   public:
-    StatBase(Group *parent, std::string name, std::string desc);
+    StatBase(Group *parent, std::string name, std::string desc,
+             std::string unit = "");
     virtual ~StatBase() = default;
 
     StatBase(const StatBase &) = delete;
@@ -42,6 +56,29 @@ class StatBase
 
     const std::string &name() const { return statName; }
     const std::string &desc() const { return statDesc; }
+
+    /**
+     * Measurement unit ("insts", "cycles", "regs", ...); empty for
+     * dimensionless counts and ratios.  Purely descriptive — it feeds
+     * the schema dump and CSV headers, never arithmetic.
+     */
+    const std::string &unit() const { return statUnit; }
+
+    /**
+     * Metric kind for the machine-readable schema: "counter" for
+     * monotonic scalars, "gauge" for sampled averages, "distribution"
+     * and "timeseries" for the shaped stats.  Tools use this to decide
+     * how a metric may be compared or aggregated without hard-coding
+     * metric lists.
+     */
+    virtual const char *kind() const = 0;
+
+    /**
+     * Write this stat's schema entry as one JSON object:
+     * {"kind": ..., "unit": ..., "desc": ...}.  Values only — the
+     * caller writes the (dotted) name key.
+     */
+    void dumpSchema(std::ostream &os) const;
 
     /** Write "name value # desc" lines to the stream. */
     virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
@@ -60,14 +97,19 @@ class StatBase
   private:
     std::string statName;
     std::string statDesc;
+    std::string statUnit;
 };
 
 /** Monotonic (or at least scalar) counter. */
 class Scalar : public StatBase
 {
   public:
-    Scalar(Group *parent, std::string name, std::string desc)
-        : StatBase(parent, std::move(name), std::move(desc)) {}
+    Scalar(Group *parent, std::string name, std::string desc,
+           std::string unit = "")
+        : StatBase(parent, std::move(name), std::move(desc),
+                   std::move(unit)) {}
+
+    const char *kind() const override { return "counter"; }
 
     Scalar &operator++() { ++val; return *this; }
     Scalar &operator+=(double v) { val += v; return *this; }
@@ -93,8 +135,12 @@ class Scalar : public StatBase
 class Average : public StatBase
 {
   public:
-    Average(Group *parent, std::string name, std::string desc)
-        : StatBase(parent, std::move(name), std::move(desc)) {}
+    Average(Group *parent, std::string name, std::string desc,
+            std::string unit = "")
+        : StatBase(parent, std::move(name), std::move(desc),
+                   std::move(unit)) {}
+
+    const char *kind() const override { return "gauge"; }
 
     void
     sample(double v)
@@ -147,8 +193,12 @@ class Average : public StatBase
 class Distribution : public StatBase
 {
   public:
-    Distribution(Group *parent, std::string name, std::string desc)
-        : StatBase(parent, std::move(name), std::move(desc)) {}
+    Distribution(Group *parent, std::string name, std::string desc,
+                 std::string unit = "")
+        : StatBase(parent, std::move(name), std::move(desc),
+                   std::move(unit)) {}
+
+    const char *kind() const override { return "distribution"; }
 
     void sample(std::uint64_t key, std::uint64_t weight = 1)
     {
@@ -241,8 +291,12 @@ class TimeSeries : public StatBase
         bool operator==(const Point &) const = default;
     };
 
-    TimeSeries(Group *parent, std::string name, std::string desc)
-        : StatBase(parent, std::move(name), std::move(desc)) {}
+    TimeSeries(Group *parent, std::string name, std::string desc,
+               std::string unit = "")
+        : StatBase(parent, std::move(name), std::move(desc),
+                   std::move(unit)) {}
+
+    const char *kind() const override { return "timeseries"; }
 
     void sample(std::uint64_t tick, double v)
     {
@@ -304,6 +358,17 @@ class Group
      */
     void dumpJson(std::ostream &os, int indent = 0) const;
 
+    /**
+     * Dump the metric schema of this group and all children as one
+     * flat JSON object: every stat appears under its dotted path
+     * (e.g. "core.rename.allocInt") mapping to
+     * {"kind": ..., "unit": ..., "desc": ...}.  Walk order matches
+     * dump(), so the schema is stable across runs and diffs cleanly.
+     * Tools (rrs-benchdiff, the future experiment ledger) read this
+     * instead of hard-coding metric lists.
+     */
+    void dumpSchema(std::ostream &os, int indent = 0) const;
+
     /** Reset all stats in this group and all children. */
     void resetStats();
 
@@ -313,6 +378,9 @@ class Group
     void addStat(StatBase *stat) { statList.push_back(stat); }
     void addChild(Group *g) { children.push_back(g); }
     void removeChild(Group *g);
+
+    void dumpSchemaEntries(std::ostream &os, const std::string &prefix,
+                           const std::string &pad, bool &first) const;
 
     std::string groupName;
     Group *parent;

@@ -203,4 +203,73 @@ TEST(BenchDiff, MarkdownModeEmitsPipeTable)
     EXPECT_NE(os.str().find("| int_sort |"), std::string::npos);
 }
 
+TEST(BenchDiff, PhaseProfileDeltaIsWarnOnly)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.phases[0].seconds = base.phases[0].seconds * 2;   // +100% host time
+    cur.phases.push_back({"simulate/drain", 3, 0.05, 100, 200, 300});
+    std::ostringstream os;
+    // Host wall clock per phase never gates: still exit 0.
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 0);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("phase profile"), std::string::npos) << text;
+    EXPECT_NE(text.find("simulate"), std::string::npos);
+    EXPECT_NE(text.find("+100.0%"), std::string::npos) << text;
+    // The phase present only on the current side is flagged as new.
+    EXPECT_NE(text.find("simulate/drain"), std::string::npos);
+    EXPECT_NE(text.find("new"), std::string::npos);
+}
+
+TEST(BenchDiff, PhaseProfileDeltaMarkdownTable)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.phases[0].seconds *= 1.5;
+    BenchDiffOptions opts;
+    opts.markdown = true;
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, opts, os), 0);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("| phase |"), std::string::npos) << text;
+    EXPECT_NE(text.find("| simulate |"), std::string::npos);
+    EXPECT_NE(text.find("+50.0%"), std::string::npos);
+}
+
+TEST(BenchDiff, NoPhasesMeansNoPhaseTable)
+{
+    BenchResult base = sampleResult();
+    BenchResult cur = base;
+    base.phases.clear();
+    cur.phases.clear();
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 0);
+    EXPECT_EQ(os.str().find("phase profile"), std::string::npos);
+}
+
+TEST(BenchJson, MetricSchemaSurvivesRender)
+{
+    BenchResult r = sampleResult();
+    r.metricSchema = "{\n    \"sweep.totalRuns\": {\"kind\": "
+                     "\"counter\", \"unit\": \"runs\", \"desc\": "
+                     "\"runs\"}\n  }";
+    const std::string body = harness::renderBenchJson(r);
+    EXPECT_NE(body.find("\"metric_schema\""), std::string::npos);
+    EXPECT_NE(body.find("sweep.totalRuns"), std::string::npos);
+
+    // The loader tolerates (and currently skips) the schema block, and
+    // an empty schema still renders valid JSON.
+    const std::string path =
+        testing::TempDir() + "/BENCH_schema.json";
+    std::string error;
+    ASSERT_TRUE(harness::tryWriteBenchJson(path, r, error)) << error;
+    BenchResult back;
+    ASSERT_TRUE(harness::loadBenchJson(path, back, error)) << error;
+    EXPECT_EQ(back.bench, r.bench);
+
+    r.metricSchema.clear();
+    ASSERT_TRUE(harness::tryWriteBenchJson(path, r, error)) << error;
+    ASSERT_TRUE(harness::loadBenchJson(path, back, error)) << error;
+}
+
 } // namespace

@@ -146,4 +146,82 @@ TEST(StatsJson, TextAndJsonCarryTheSameSummary)
     EXPECT_DOUBLE_EQ(v.at("lat").at("max").num, 9.0);
 }
 
+TEST(JsonEscape, QuotesEveryHostileCharacter)
+{
+    // The shared escaper behind every JSON export: quotes, backslashes,
+    // newlines, tabs and raw control bytes must round-trip through the
+    // parser; plain text must stay untouched.
+    const std::string hostile =
+        "quote\" slash\\ nl\n tab\t cr\r bell\x07 plain";
+    const std::string quoted = stats::jsonQuoted(hostile);
+    EXPECT_EQ(quoted.front(), '"');
+    EXPECT_EQ(quoted.back(), '"');
+    EXPECT_EQ(quoted.find('\n'), std::string::npos) << quoted;
+
+    Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(quoted, v, &err)) << err;
+    EXPECT_EQ(v.str, hostile);
+
+    std::ostringstream os;
+    stats::jsonEscape(os, "x\x01y");
+    EXPECT_EQ(os.str(), "\"x\\u0001y\"");
+}
+
+TEST(StatsSchema, EveryStatSelfDescribes)
+{
+    stats::Group root("root");
+    stats::Scalar insts(&root, "insts", "committed instructions",
+                        "insts");
+    stats::Average wall(&root, "wall", "run wall clock", "seconds");
+    stats::Distribution ipc(&root, "ipcPct", "ipc percent", "percent");
+    stats::TimeSeries occ(&root, "occupancy", "rob occupancy", "insts");
+    stats::Group child("core", &root);
+    stats::Scalar cycles(&child, "cycles", "cycles simulated", "cycles");
+    stats::Scalar bare(&root, "bare", "no unit given");
+
+    EXPECT_EQ(insts.unit(), "insts");
+    EXPECT_EQ(bare.unit(), "");
+    EXPECT_STREQ(insts.kind(), "counter");
+    EXPECT_STREQ(wall.kind(), "gauge");
+    EXPECT_STREQ(ipc.kind(), "distribution");
+    EXPECT_STREQ(occ.kind(), "timeseries");
+
+    std::ostringstream os;
+    root.dumpSchema(os);
+    Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(os.str(), v, &err))
+        << err << "\n" << os.str();
+
+    // Flat object keyed by dotted path (root group included), values
+    // {kind, unit, desc}.
+    EXPECT_EQ(v.at("root.insts").at("kind").str, "counter");
+    EXPECT_EQ(v.at("root.insts").at("unit").str, "insts");
+    EXPECT_EQ(v.at("root.insts").at("desc").str,
+              "committed instructions");
+    EXPECT_EQ(v.at("root.wall").at("kind").str, "gauge");
+    EXPECT_EQ(v.at("root.ipcPct").at("kind").str, "distribution");
+    EXPECT_EQ(v.at("root.occupancy").at("kind").str, "timeseries");
+    EXPECT_EQ(v.at("root.core.cycles").at("kind").str, "counter");
+    EXPECT_EQ(v.at("root.core.cycles").at("unit").str, "cycles");
+    EXPECT_EQ(v.at("root.bare").at("unit").str, "");
+}
+
+TEST(StatsSchema, HostileNamesStayValidJson)
+{
+    stats::Group root("root");
+    stats::Scalar evil(&root, "name\"with\\quotes",
+                       "desc with \"quotes\" and\nnewline", "u\"nit");
+    std::ostringstream os;
+    root.dumpSchema(os);
+    Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(os.str(), v, &err))
+        << err << "\n" << os.str();
+    EXPECT_EQ(v.at("root.name\"with\\quotes").at("desc").str,
+              "desc with \"quotes\" and\nnewline");
+    EXPECT_EQ(v.at("root.name\"with\\quotes").at("unit").str, "u\"nit");
+}
+
 } // namespace
