@@ -6,6 +6,7 @@
 #include "obs/flightrec.hh"
 #include "obs/pipetrace.hh"
 #include "rename/audit.hh"
+#include "trace/packed.hh"
 
 namespace rrs::core {
 
@@ -49,6 +50,11 @@ O3Core::O3Core(const CoreParams &params, rename::Renamer &renamer,
 {
     if (params.interruptInterval > 0)
         nextInterrupt = params.interruptInterval;
+    // Streams with a packed backing hand out pre-decoded per-record
+    // metadata; everything else re-derives the identical values from
+    // the classifier at fetch, so timing does not depend on the
+    // stream's kind.
+    packedSrc = stream.packedView();
 }
 
 std::uint32_t
@@ -105,19 +111,19 @@ O3Core::loadMayIssue(const InFlight &inst, Tick *forwardReady) const
     // Scan older stores: unknown addresses block; overlapping known
     // addresses forward.
     const Addr lo = inst.di.effAddr;
-    const Addr hi = lo + inst.di.si.info().memBytes;
+    const Addr hi = lo + inst.meta.memBytes;
     bool forward = false;
     for (const InFlight &other : rob) {
         if (other.fetchSeq >= inst.fetchSeq)
             break;
-        if (!other.di.isStore())
+        if (!other.meta.isStore())
             continue;
         if (!other.storeExecuted)
             return false;   // conservative: address unknown
         if (other.wrongPath)
             continue;       // synthetic store, no real data
         Addr olo = other.di.effAddr;
-        Addr ohi = olo + other.di.si.info().memBytes;
+        Addr ohi = olo + other.meta.memBytes;
         if (lo < ohi && olo < hi) {
             forward = true;
             *forwardReady = std::max(*forwardReady, other.readyAt);
@@ -147,7 +153,7 @@ O3Core::scheduleCompletion(InFlight &inst)
     };
 
     bool ok = false;
-    switch (inst.di.si.cls()) {
+    switch (inst.meta.cls) {
       case InstClass::IntAlu:
       case InstClass::Branch:
         ok = grab(fuIntAlu, 1, fu.intAluLat);
@@ -232,9 +238,9 @@ O3Core::squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
     // handled by the caller for flushes.
     while (!rob.empty() && rob.back().fetchSeq > fetchSeq) {
         const InFlight &victim = rob.back();
-        if (victim.di.isLoad())
+        if (victim.meta.isLoad())
             --loadsInFlight;
-        if (victim.di.isStore())
+        if (victim.meta.isStore())
             --storesInFlight;
         ++squashedInsts;
         if (tracer)
@@ -268,7 +274,7 @@ O3Core::squashAfter(std::uint64_t fetchSeq, rename::HistoryToken token,
 void
 O3Core::resolveBranch(InFlight &inst)
 {
-    const BranchKind kind = inst.di.si.branchKind();
+    const BranchKind kind = inst.meta.branch;
     bpred.recordResolution(kind, !inst.mispredicted);
     if (!inst.mispredicted)
         return;
@@ -340,9 +346,9 @@ O3Core::flushAll(Cycles extraPenalty)
         if (!rob.empty()) {
             // Head had fetchSeq 0: squashAfter(0,...) keeps it; finish.
             ++squashedInsts;
-            if (rob.front().di.isLoad())
+            if (rob.front().meta.isLoad())
                 --loadsInFlight;
-            if (rob.front().di.isStore())
+            if (rob.front().meta.isStore())
                 --storesInFlight;
             if (tracer)
                 tracer->squash(rob.front().fetchSeq);
@@ -420,17 +426,17 @@ O3Core::commitStage()
         }
         if (auditor && auditEveryCommit)
             auditor->check(renamer, "post-commit");
-        if (head.di.isStore())
+        if (head.meta.isStore())
             memSys.dataAccess(head.di.pc, head.di.effAddr, true, now);
-        if (head.di.isControl()) {
+        if (head.meta.isControl()) {
             Addr target = head.di.taken ? head.di.nextPc : invalidAddr;
-            bpred.update(head.di.pc, head.di.si.branchKind(),
+            bpred.update(head.di.pc, head.meta.branch,
                          head.di.taken, target,
                          head.pred.historySnapshot);
         }
-        if (head.di.isLoad())
+        if (head.meta.isLoad())
             --loadsInFlight;
-        if (head.di.isStore())
+        if (head.meta.isStore())
             --storesInFlight;
 
         ++committed;
@@ -470,11 +476,11 @@ O3Core::writebackStage()
         ++n;
         if (tracer)
             tracer->complete(inst.fetchSeq, now);
-        if (inst.di.isStore())
+        if (inst.meta.isStore())
             inst.storeExecuted = true;
         if (inst.rr.hasDest)
             setTagReady(inst.rr.destTag, now);
-        if (inst.di.isControl()) {
+        if (inst.meta.isControl()) {
             bool was_mispredicted = inst.mispredicted;
             resolveBranch(inst);
             if (was_mispredicted)
@@ -525,18 +531,19 @@ O3Core::renameStage()
             renameBlock = RenameBlock::Rob;
             break;
         }
-        bool needs_iq = cand.di.si.cls() != InstClass::Nop;
+        bool needs_iq = cand.meta.cls != InstClass::Nop;
         if (needs_iq && iq.size() >= params.iqEntries) {
             ++renameStallIq;
             renameBlock = RenameBlock::Iq;
             break;
         }
-        if (cand.di.isLoad() && loadsInFlight >= params.loadQueueEntries) {
+        if (cand.meta.isLoad() &&
+            loadsInFlight >= params.loadQueueEntries) {
             ++renameStallLsq;
             renameBlock = RenameBlock::Lsq;
             break;
         }
-        if (cand.di.isStore() &&
+        if (cand.meta.isStore() &&
             storesInFlight >= params.storeQueueEntries) {
             ++renameStallLsq;
             renameBlock = RenameBlock::Lsq;
@@ -578,9 +585,9 @@ O3Core::renameStage()
         if (rr.hasDest)
             setTagPending(rr.destTag);
 
-        if (inst.di.isLoad())
+        if (inst.meta.isLoad())
             ++loadsInFlight;
-        if (inst.di.isStore())
+        if (inst.meta.isStore())
             ++storesInFlight;
 
         if (tracer) {
@@ -616,23 +623,37 @@ O3Core::fetchStage()
     while (fetched < params.fetchWidth &&
            fetchQueue.size() < params.fetchQueueEntries) {
         // Pick the next instruction: wrong path, replay, or stream.
+        // Stream instructions take their pre-decoded metadata from the
+        // packed columns when available; the rare paths (synthetic
+        // wrong path, post-flush replay, unpacked streams) re-derive
+        // the identical values from the one-time classifier.
         trace::DynInst di;
+        isa::PackedMeta meta;
         bool from_stream = false;
         if (onWrongPath) {
             di = wrongPath.generate(wrongPathPc, nextFetchSeq);
+            meta = isa::packedMeta(di.si.op);
             wrongPathPc = di.nextPc;
             ++wrongPathFetched;
         } else if (!replayBuffer.empty()) {
             di = replayBuffer.front();
+            meta = isa::packedMeta(di.si.op);
         } else {
             if (!pendingInst && !streamDone) {
+                const std::size_t idx = stream.cursor();
                 pendingInst = stream.next();
-                if (!pendingInst)
+                if (!pendingInst) {
                     streamDone = true;
+                } else {
+                    pendingMeta = packedSrc
+                                      ? packedSrc->meta(idx)
+                                      : isa::packedMeta(pendingInst->si.op);
+                }
             }
             if (!pendingInst)
                 break;
             di = *pendingInst;
+            meta = pendingMeta;
             from_stream = true;
         }
 
@@ -655,14 +676,14 @@ O3Core::fetchStage()
 
         InFlight inst;
         inst.di = di;
+        inst.meta = meta;
         inst.fetchSeq = nextFetchSeq++;
         inst.wrongPath = onWrongPath;
         inst.di.seq = inst.fetchSeq;
 
         bool group_ends = false;
-        if (di.isControl()) {
-            bpred::Prediction p =
-                bpred.predict(di.pc, di.si.branchKind());
+        if (meta.isControl()) {
+            bpred::Prediction p = bpred.predict(di.pc, meta.branch);
             inst.pred = p;
             inst.hasPred = true;
             if (!inst.wrongPath) {
@@ -673,7 +694,7 @@ O3Core::fetchStage()
                 // Direct unconditional branches and calls resolve their
                 // target at decode; a BTB miss there is not a
                 // misprediction.
-                BranchKind kind = di.si.branchKind();
+                const BranchKind kind = meta.branch;
                 if ((kind == BranchKind::Uncond ||
                      kind == BranchKind::Call) && !p.btbHit) {
                     pred_next = di.nextPc;
@@ -698,7 +719,7 @@ O3Core::fetchStage()
         }
 
         // Page-fault injection on correct-path loads.
-        if (!inst.wrongPath && di.isLoad() &&
+        if (!inst.wrongPath && meta.isLoad() &&
             params.loadFaultProbability > 0 &&
             rng.chance(params.loadFaultProbability)) {
             inst.faulting = true;

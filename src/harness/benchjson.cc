@@ -491,8 +491,14 @@ diffBenchResults(const BenchResult &base, const BenchResult &cur,
             slot(ph.path).c = &ph;
 
         auto secs = [](const BenchResult::PhaseRow *r) {
-            return r ? jsonNum(r->seconds).substr(0, 9)
-                     : std::string("-");
+            // %g, not a substr of the JSON round-trip form: truncating
+            // "5.72e-06" at 9 chars would drop the exponent and print
+            // a number a million times too large.
+            char buf[32];
+            if (!r)
+                return std::string("-");
+            std::snprintf(buf, sizeof(buf), "%.4g", r->seconds);
+            return std::string(buf);
         };
         auto p95 = [](const BenchResult::PhaseRow *r) {
             char buf[32];

@@ -198,6 +198,8 @@ SweepRunner::run(const std::vector<SweepItem> &items)
             cacheAfter.capturedInsts - cacheBefore.capturedInsts;
         info.replayedInsts =
             cacheAfter.replayedInsts - cacheBefore.replayedInsts;
+        info.packedRecords =
+            cacheAfter.packedRecords - cacheBefore.packedRecords;
         std::vector<const obs::RunTelemetry *> buffers;
         buffers.reserve(runTelem.size());
         for (const obs::RunTelemetry &rt : runTelem)

@@ -43,7 +43,12 @@ namespace rrs::harness {
 class TraceCache : public stats::Group
 {
   public:
-    /** Deterministic snapshot of the cache counters. */
+    /**
+     * Snapshot of the cache counters.  All count fields are
+     * deterministic across thread counts; the pack-seconds fields are
+     * host wall clock (reporting only — they never reach exact-metric
+     * surfaces like BENCH json trace_cache blocks or telemetry bytes).
+     */
     struct Counters
     {
         std::uint64_t hits = 0;
@@ -52,6 +57,9 @@ class TraceCache : public stats::Group
         std::uint64_t replayedInsts = 0;
         std::uint64_t spillLoads = 0;
         std::uint64_t spillStores = 0;
+        std::uint64_t packedRecords = 0;
+        double packSecondsCapture = 0.0;
+        double packSecondsLoad = 0.0;
     };
 
     /** Spill directory defaults to the RRS_TRACE_DIR environment. */
@@ -94,6 +102,9 @@ class TraceCache : public stats::Group
     stats::Scalar replayedStat;
     stats::Scalar spillLoadsStat;
     stats::Scalar spillStoresStat;
+    stats::Scalar packedRecordsStat;
+    stats::Scalar packCaptureSecondsStat;
+    stats::Scalar packLoadSecondsStat;
 };
 
 /** The process-wide cache every harness run shares. */

@@ -115,6 +115,42 @@ opInfo(Opcode op)
     return opTable[idx];
 }
 
+const PackedMeta &
+packedMeta(Opcode op)
+{
+    // Built once from the OpInfo table (thread-safe static init);
+    // after that the classifier is a single indexed load.
+    static const std::array<PackedMeta,
+                            static_cast<std::size_t>(Opcode::NumOpcodes)>
+        table = [] {
+            std::array<PackedMeta,
+                       static_cast<std::size_t>(Opcode::NumOpcodes)>
+                t{};
+            for (std::size_t i = 0;
+                 i < static_cast<std::size_t>(Opcode::NumOpcodes); ++i) {
+                const OpInfo &info = opTable[i];
+                PackedMeta m;
+                if (info.cls == InstClass::Load)
+                    m.attrs |= instattr::load;
+                if (info.cls == InstClass::Store)
+                    m.attrs |= instattr::store;
+                if (info.branch != BranchKind::None)
+                    m.attrs |= instattr::control;
+                if (info.hasDest)
+                    m.attrs |= instattr::hasDest;
+                m.cls = info.cls;
+                m.branch = info.branch;
+                m.memBytes = info.memBytes;
+                t[i] = m;
+            }
+            return t;
+        }();
+    auto idx = static_cast<std::size_t>(op);
+    rrs_assert(idx < static_cast<std::size_t>(Opcode::NumOpcodes),
+               "bad opcode");
+    return table[idx];
+}
+
 std::optional<Opcode>
 opcodeFromName(std::string_view name)
 {

@@ -180,6 +180,62 @@ isControl(Opcode op)
 }
 
 /**
+ * Per-instruction attribute bits used by the pre-decoded trace layout
+ * (trace::PackedTrace) and the timing model's hot loop.  The first
+ * four are static per-opcode properties stamped by the classifier;
+ * the last two are per-record facts stamped in at trace-pack time.
+ *
+ * The bit positions are serialized indirectly (they shape the packed
+ * digest) — treat them as frozen.
+ */
+namespace instattr {
+constexpr std::uint8_t load = 1u << 0;       //!< InstClass::Load
+constexpr std::uint8_t store = 1u << 1;      //!< InstClass::Store
+constexpr std::uint8_t control = 1u << 2;    //!< any branch kind
+constexpr std::uint8_t hasDest = 1u << 3;    //!< writes a register
+constexpr std::uint8_t taken = 1u << 4;      //!< per-record: branch taken
+constexpr std::uint8_t writesReg = 1u << 5;  //!< per-record: dest renames
+                                             //!< (has a dest, not xzr)
+} // namespace instattr
+
+/**
+ * Compact pre-decoded metadata for one instruction: everything the
+ * per-cycle pipeline loop needs, resolved once by the classifier (or
+ * once at trace-pack time) so the loop itself never chases through
+ * OpInfo.  Four bytes, trivially copyable.
+ */
+struct PackedMeta
+{
+    std::uint8_t attrs = 0;                 //!< instattr:: bits
+    InstClass cls = InstClass::Nop;         //!< scheduling class
+    BranchKind branch = BranchKind::None;   //!< control-flow kind
+    std::uint8_t memBytes = 0;              //!< memory access size
+
+    bool isLoad() const { return attrs & instattr::load; }
+    bool isStore() const { return attrs & instattr::store; }
+    bool isControl() const { return attrs & instattr::control; }
+    bool hasDest() const { return attrs & instattr::hasDest; }
+};
+
+/**
+ * One-time classifier: the static PackedMeta for an opcode (per-opcode
+ * bits only — per-record bits are stamped in by trace packing).  A
+ * single table load; the table is built once from opInfo().
+ */
+const PackedMeta &packedMeta(Opcode op);
+
+// The compact class / branch-kind bytes are part of the packed-trace
+// digest (and derived from the opcode bytes stored by trace codec v2),
+// so their numeric values are frozen: appending new enumerators is
+// fine, renumbering existing ones is a format break.
+static_assert(static_cast<int>(InstClass::IntAlu) == 0 &&
+                  static_cast<int>(InstClass::Nop) == 9,
+              "InstClass encoding is frozen by the packed-trace format");
+static_assert(static_cast<int>(BranchKind::None) == 0 &&
+                  static_cast<int>(BranchKind::Indirect) == 5,
+              "BranchKind encoding is frozen by the packed-trace format");
+
+/**
  * A decoded static instruction.  This is the single in-memory
  * representation used by the assembler, the functional emulator and
  * (via DynInst) the timing model.

@@ -178,7 +178,18 @@ renderSweepTrace(const TelemetrySweepInfo &info,
         os << ",\n";
         writeSpanEvent(os, capture, sweepTid);
 
-        TelemetrySpan merge{"stats-merge", info.capturedInsts, 0, {}};
+        // Column packing rides after capture, denominated in records
+        // (deterministic — host pack seconds never reach the trace
+        // bytes, which must be identical across thread counts).
+        TelemetrySpan pack{"pack", info.capturedInsts,
+                           info.packedRecords, {}};
+        argInt(pack, "packed_records", info.packedRecords);
+        os << ",\n";
+        writeSpanEvent(os, pack, sweepTid);
+
+        TelemetrySpan merge{"stats-merge",
+                            info.capturedInsts + info.packedRecords, 0,
+                            {}};
         argInt(merge, "runs", info.runs);
         os << ",\n";
         writeSpanEvent(os, merge, sweepTid);

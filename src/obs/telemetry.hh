@@ -143,6 +143,7 @@ struct TelemetrySweepInfo
     std::uint64_t runs = 0;
     std::uint64_t capturedInsts = 0;    //!< functional capture work
     std::uint64_t replayedInsts = 0;    //!< trace insts replayed
+    std::uint64_t packedRecords = 0;    //!< records packed into columns
 };
 
 /**

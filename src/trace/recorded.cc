@@ -75,6 +75,15 @@ RecordedTrace::RecordedTrace(std::string workload, std::uint64_t cap,
 {
 }
 
+const PackedTrace &
+RecordedTrace::packed() const
+{
+    std::call_once(packOnce, [this] {
+        packedCols = std::make_unique<PackedTrace>(records);
+    });
+    return *packedCols;
+}
+
 ReplayStream::ReplayStream(TracePtr trace) : src(std::move(trace))
 {
     rrs_assert(src != nullptr, "replay stream needs a trace");

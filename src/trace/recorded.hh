@@ -23,10 +23,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "trace/dyninst.hh"
+#include "trace/packed.hh"
 
 namespace rrs::trace {
 
@@ -57,6 +59,15 @@ class RecordedTrace
     const DynInst &operator[](std::size_t i) const { return records[i]; }
     const std::vector<DynInst> &insts() const { return records; }
 
+    /**
+     * The pre-decoded structure-of-arrays companion (DESIGN §4h).
+     * Built at most once per trace — thread-safe, so concurrent sweep
+     * lanes sharing the trace all see the same columns.  The harness
+     * forces the build at capture / trace-file-load time so no lane
+     * ever pays pack cost mid-sweep.
+     */
+    const PackedTrace &packed() const;
+
     /** Fold one record's fields into a running FNV-1a state. */
     static void foldInst(std::uint64_t &h, const DynInst &di);
 
@@ -69,6 +80,8 @@ class RecordedTrace
     std::uint64_t srcHash;
     std::vector<DynInst> records;
     std::uint64_t contentDigest;
+    mutable std::once_flag packOnce;
+    mutable std::unique_ptr<PackedTrace> packedCols;
 };
 
 /** Shared-ownership handle to an immutable trace. */
@@ -92,6 +105,12 @@ class ReplayStream : public InstStream
     std::uint64_t replayed() const { return emitted; }
 
     const RecordedTrace &trace() const { return *src; }
+
+    const PackedTrace *packedView() const override
+    {
+        return &src->packed();
+    }
+    std::size_t cursor() const override { return pos; }
 
   private:
     TracePtr src;

@@ -7,6 +7,7 @@
 
 #include "common/atomicfile.hh"
 #include "common/logging.hh"
+#include "trace/packed.hh"
 
 namespace rrs::trace {
 
@@ -56,13 +57,31 @@ putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
         out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
 }
 
-// A register id packs as (idx << 1) | cls; invalidRegIndex round-trips
-// like any other index so unused operand slots stay bit-faithful.
-std::uint64_t
-packReg(const isa::RegId &r)
+/** The optional-field flags of one record (both format versions). */
+std::uint8_t
+recordFlags(const DynInst &di)
 {
-    return (static_cast<std::uint64_t>(r.idx) << 1) |
-           static_cast<std::uint64_t>(r.cls);
+    std::uint64_t fbits;
+    std::memcpy(&fbits, &di.si.fimm, sizeof(fbits));
+    std::uint8_t flags = 0;
+    if (di.taken)
+        flags |= flagTaken;
+    if (di.effAddr != invalidAddr)
+        flags |= flagEffAddr;
+    if (fbits != 0)
+        flags |= flagFpImm;
+    if (di.si.target != invalidAddr)
+        flags |= flagTarget;
+    return flags;
+}
+
+/** True for byte values PackedTrace::unpackRegByte decodes losslessly. */
+bool
+regByteValid(std::uint8_t b)
+{
+    if (b & 0x80u)
+        return (b & 0x7fu) < numRegClasses;
+    return (b & 0x3fu) < isa::numLogRegs;
 }
 
 /** Bounds-checked cursor over the file image. */
@@ -160,8 +179,14 @@ bool
 tryWriteTraceFile(const std::string &path, const RecordedTrace &trace,
                   std::string &error)
 {
+    // v2 is column-major: one full column at a time, mirroring the
+    // PackedTrace structure-of-arrays form so like values compress
+    // together and the loader refills columns with tight loops.
+    const std::vector<DynInst> &insts = trace.insts();
+    const PackedTrace &packed = trace.packed();
+
     std::vector<std::uint8_t> buf;
-    buf.reserve(64 + trace.size() * 16);
+    buf.reserve(64 + trace.size() * 12);
 
     putU32(buf, traceFileMagic);
     putU32(buf, traceFileVersion);
@@ -173,40 +198,47 @@ tryWriteTraceFile(const std::string &path, const RecordedTrace &trace,
     putVarint(buf, trace.size());
 
     std::uint64_t prevSeq = 0;
-    for (const DynInst &di : trace.insts()) {
+    for (const DynInst &di : insts) {
         putVarint(buf, di.seq - prevSeq);
         prevSeq = di.seq;
+    }
+    for (const DynInst &di : insts)
         putVarint(buf, di.pc);
+    for (const DynInst &di : insts) {
         putVarint(buf, zigzag(static_cast<std::int64_t>(di.nextPc) -
                               static_cast<std::int64_t>(di.pc)));
+    }
+    for (const DynInst &di : insts)
+        buf.push_back(static_cast<std::uint8_t>(di.si.op));
+    for (const DynInst &di : insts)
+        buf.push_back(recordFlags(di));
+    for (const DynInst &di : insts)
+        buf.push_back(PackedTrace::packRegByte(di.si.dest));
+    for (unsigned s = 0; s < 3; ++s) {
+        for (const DynInst &di : insts)
+            buf.push_back(PackedTrace::packRegByte(di.si.srcs[s]));
+    }
+    for (const DynInst &di : insts)
+        putVarint(buf, zigzag(di.si.imm));
 
+    // Optional values, one flag group at a time in record order.
+    for (const DynInst &di : insts) {
         std::uint64_t fbits;
         std::memcpy(&fbits, &di.si.fimm, sizeof(fbits));
-
-        std::uint8_t flags = 0;
-        if (di.taken)
-            flags |= flagTaken;
-        if (di.effAddr != invalidAddr)
-            flags |= flagEffAddr;
         if (fbits != 0)
-            flags |= flagFpImm;
-        if (di.si.target != invalidAddr)
-            flags |= flagTarget;
-        buf.push_back(flags);
-
-        buf.push_back(static_cast<std::uint8_t>(di.si.op));
-        putVarint(buf, packReg(di.si.dest));
-        for (const auto &s : di.si.srcs)
-            putVarint(buf, packReg(s));
-        putVarint(buf, zigzag(di.si.imm));
-        if (flags & flagFpImm)
             putU64(buf, fbits);
-        if (flags & flagTarget)
+    }
+    for (const DynInst &di : insts) {
+        if (di.si.target != invalidAddr)
             putVarint(buf, di.si.target);
-        if (flags & flagEffAddr)
+    }
+    for (const DynInst &di : insts) {
+        if (di.effAddr != invalidAddr)
             putVarint(buf, di.effAddr);
     }
+
     putU64(buf, trace.digest());
+    putU64(buf, packed.digest());
 
     // Temp-file + rename keeps concurrent writers of one path atomic
     // (common/atomicfile.hh, shared with the JSON exporters).
@@ -229,7 +261,8 @@ writeTraceFile(const std::string &path, const RecordedTrace &trace)
 }
 
 TracePtr
-tryReadTraceFile(const std::string &path, std::string &error)
+tryReadTraceFile(const std::string &path, std::string &error,
+                 std::uint32_t *fileVersion)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
@@ -253,9 +286,11 @@ tryReadTraceFile(const std::string &path, std::string &error)
         return nullptr;
     }
     const std::uint32_t version = r.u32();
-    if (version != traceFileVersion) {
+    if (fileVersion)
+        *fileVersion = version;
+    if (version < 1 || version > traceFileVersion) {
         error = "unsupported trace version " + std::to_string(version) +
-                " in '" + path + "' (expected " +
+                " in '" + path + "' (newest supported " +
                 std::to_string(traceFileVersion) + ")";
         return nullptr;
     }
@@ -273,58 +308,149 @@ tryReadTraceFile(const std::string &path, std::string &error)
         error = "truncated trace file '" + path + "'";
         return nullptr;
     }
-    // Each record is at least 9 bytes; reject counts the file cannot
-    // possibly hold before reserving memory for them.
+    // Each record costs at least 9 bytes in either version; reject
+    // counts the file cannot possibly hold before reserving memory.
     if (count > r.remaining() / 9 + 1) {
         error = "corrupt record count in trace file '" + path + "'";
         return nullptr;
     }
 
     std::vector<DynInst> insts;
-    insts.reserve(static_cast<std::size_t>(count));
-    std::uint64_t prevSeq = 0;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        DynInst di;
-        di.seq = prevSeq + r.varint();
-        prevSeq = di.seq;
-        di.pc = r.varint();
-        di.nextPc = static_cast<Addr>(
-            static_cast<std::int64_t>(di.pc) + unzigzag(r.varint()));
-        const std::uint8_t flags = r.u8();
-        const std::uint8_t op = r.u8();
-        if (op >= static_cast<std::uint8_t>(isa::Opcode::NumOpcodes)) {
-            error = "corrupt opcode in trace file '" + path +
-                    "' (record " + std::to_string(i) + ")";
-            return nullptr;
+    if (version == 1) {
+        // Legacy row-major records: one fully packed DynInst at a
+        // time.  The columns are re-derived (silently) after the
+        // records are validated below.
+        insts.reserve(static_cast<std::size_t>(count));
+        std::uint64_t prevSeq = 0;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            DynInst di;
+            di.seq = prevSeq + r.varint();
+            prevSeq = di.seq;
+            di.pc = r.varint();
+            di.nextPc = static_cast<Addr>(
+                static_cast<std::int64_t>(di.pc) + unzigzag(r.varint()));
+            const std::uint8_t flags = r.u8();
+            const std::uint8_t op = r.u8();
+            if (op >=
+                static_cast<std::uint8_t>(isa::Opcode::NumOpcodes)) {
+                error = "corrupt opcode in trace file '" + path +
+                        "' (record " + std::to_string(i) + ")";
+                return nullptr;
+            }
+            di.si.op = static_cast<isa::Opcode>(op);
+            bool regsOk = unpackReg(r.varint(), di.si.dest);
+            for (auto &s : di.si.srcs)
+                regsOk = unpackReg(r.varint(), s) && regsOk;
+            if (!regsOk) {
+                error = "corrupt register id in trace file '" + path +
+                        "' (record " + std::to_string(i) + ")";
+                return nullptr;
+            }
+            di.si.imm = unzigzag(r.varint());
+            di.si.fimm = 0.0;
+            if (flags & flagFpImm) {
+                std::uint64_t fbits = r.u64();
+                std::memcpy(&di.si.fimm, &fbits, sizeof(di.si.fimm));
+            }
+            di.si.target =
+                (flags & flagTarget) ? r.varint() : invalidAddr;
+            di.taken = (flags & flagTaken) != 0;
+            di.effAddr =
+                (flags & flagEffAddr) ? r.varint() : invalidAddr;
+            if (!r.ok()) {
+                error = "truncated trace file '" + path + "' (record " +
+                        std::to_string(i) + " of " +
+                        std::to_string(count) + ")";
+                return nullptr;
+            }
+            insts.push_back(di);
         }
-        di.si.op = static_cast<isa::Opcode>(op);
-        bool regsOk = unpackReg(r.varint(), di.si.dest);
-        for (auto &s : di.si.srcs)
-            regsOk = unpackReg(r.varint(), s) && regsOk;
-        if (!regsOk) {
-            error = "corrupt register id in trace file '" + path +
-                    "' (record " + std::to_string(i) + ")";
-            return nullptr;
+    } else {
+        // v2 column-major: refill one column at a time.
+        const auto n = static_cast<std::size_t>(count);
+        insts.resize(n);
+        std::uint64_t prevSeq = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            insts[i].seq = prevSeq + r.varint();
+            prevSeq = insts[i].seq;
         }
-        di.si.imm = unzigzag(r.varint());
-        di.si.fimm = 0.0;
-        if (flags & flagFpImm) {
-            std::uint64_t fbits = r.u64();
-            std::memcpy(&di.si.fimm, &fbits, sizeof(di.si.fimm));
+        for (std::size_t i = 0; i < n; ++i)
+            insts[i].pc = r.varint();
+        for (std::size_t i = 0; i < n; ++i) {
+            insts[i].nextPc = static_cast<Addr>(
+                static_cast<std::int64_t>(insts[i].pc) +
+                unzigzag(r.varint()));
         }
-        di.si.target = (flags & flagTarget) ? r.varint() : invalidAddr;
-        di.taken = (flags & flagTaken) != 0;
-        di.effAddr = (flags & flagEffAddr) ? r.varint() : invalidAddr;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint8_t op = r.u8();
+            if (r.ok() &&
+                op >= static_cast<std::uint8_t>(isa::Opcode::NumOpcodes)) {
+                error = "corrupt opcode in trace file '" + path +
+                        "' (record " + std::to_string(i) + ")";
+                return nullptr;
+            }
+            insts[i].si.op = static_cast<isa::Opcode>(op);
+        }
+        std::vector<std::uint8_t> flagsCol(n);
+        for (std::size_t i = 0; i < n; ++i)
+            flagsCol[i] = r.u8();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint8_t b = r.u8();
+            if (r.ok() && !regByteValid(b)) {
+                error = "corrupt register id in trace file '" + path +
+                        "' (record " + std::to_string(i) + ")";
+                return nullptr;
+            }
+            insts[i].si.dest = PackedTrace::unpackRegByte(b);
+        }
+        for (unsigned s = 0; s < 3; ++s) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint8_t b = r.u8();
+                if (r.ok() && !regByteValid(b)) {
+                    error = "corrupt register id in trace file '" +
+                            path + "' (record " + std::to_string(i) +
+                            ")";
+                    return nullptr;
+                }
+                insts[i].si.srcs[s] = PackedTrace::unpackRegByte(b);
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            insts[i].si.imm = unzigzag(r.varint());
         if (!r.ok()) {
-            error = "truncated trace file '" + path + "' (record " +
-                    std::to_string(i) + " of " + std::to_string(count) +
-                    ")";
+            error = "truncated trace file '" + path +
+                    "' (inside record columns)";
             return nullptr;
         }
-        insts.push_back(di);
+
+        // Optional values, one flag group at a time in record order.
+        for (std::size_t i = 0; i < n; ++i) {
+            insts[i].si.fimm = 0.0;
+            if (flagsCol[i] & flagFpImm) {
+                std::uint64_t fbits = r.u64();
+                std::memcpy(&insts[i].si.fimm, &fbits,
+                            sizeof(insts[i].si.fimm));
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            insts[i].si.target =
+                (flagsCol[i] & flagTarget) ? r.varint() : invalidAddr;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            insts[i].taken = (flagsCol[i] & flagTaken) != 0;
+            insts[i].effAddr =
+                (flagsCol[i] & flagEffAddr) ? r.varint() : invalidAddr;
+        }
+        if (!r.ok()) {
+            error = "truncated trace file '" + path +
+                    "' (inside optional columns)";
+            return nullptr;
+        }
     }
 
     const std::uint64_t storedDigest = r.u64();
+    const std::uint64_t storedPackedDigest =
+        version >= 2 ? r.u64() : 0;
     if (!r.ok()) {
         error = "truncated trace file '" + path + "' (missing digest "
                 "trailer)";
@@ -336,6 +462,17 @@ tryReadTraceFile(const std::string &path, std::string &error)
         error = "digest mismatch in trace file '" + path +
                 "': stored " + std::to_string(storedDigest) +
                 ", computed " + std::to_string(trace->digest());
+        return nullptr;
+    }
+    // Decode-once invariant (DESIGN §4h): the columns are built here,
+    // at load, never in the cycle loop.  A v1 file re-packs silently;
+    // a v2 file must additionally prove the stored packed digest
+    // matches the rebuilt columns (i.e. the classifier agrees).
+    const PackedTrace &packed = trace->packed();
+    if (version >= 2 && packed.digest() != storedPackedDigest) {
+        error = "packed digest mismatch in trace file '" + path +
+                "': stored " + std::to_string(storedPackedDigest) +
+                ", computed " + std::to_string(packed.digest());
         return nullptr;
     }
     return trace;

@@ -2,22 +2,32 @@
  * @file
  * Versioned binary codec for RecordedTrace: the `.rrstrace` format.
  *
- * Layout (all multi-byte scalars little endian):
+ * Version 2 layout (all multi-byte scalars little endian):
  *
- *   header   u32 magic "RRST", u32 version,
- *            varint nameLen + name bytes,
- *            varint cap, u64 sourceHash, varint record count
- *   records  one packed DynInst each (see tracefile.cc):
- *            varint seq delta, varint pc, zigzag varint (nextPc - pc),
- *            flags byte, opcode byte, 4 varint register ids,
- *            zigzag varint immediate, then the optional fields the
- *            flags announce (fp immediate, branch target, eff. addr)
- *   trailer  u64 content digest (RecordedTrace::digestOf)
+ *   header    u32 magic "RRST", u32 version,
+ *             varint nameLen + name bytes,
+ *             varint cap, u64 sourceHash, varint record count
+ *   columns   the packed structure-of-arrays form (DESIGN §4h), one
+ *             full column at a time, each `count` entries long:
+ *             varint seq deltas, varint pcs,
+ *             zigzag varints (nextPc - pc), opcode bytes, flags bytes,
+ *             dest register bytes, three source-register byte columns,
+ *             zigzag varint immediates
+ *   optional  the values the flags bytes announce, one group at a
+ *             time in record order: u64 fp-immediate bit patterns,
+ *             varint branch targets, varint effective addresses
+ *   trailer   u64 record digest (RecordedTrace::digestOf) then
+ *             u64 packed-column digest (PackedTrace::digest)
  *
- * The reader validates the magic, version and digest; the fatal-on-
- * error entry points are for tools and tests, the try* variant lets
- * the trace cache fall back to a fresh capture when a spilled file is
- * stale, truncated or corrupt.
+ * Version 1 files (row-major records, varint register ids, single
+ * digest trailer) are still read: the loader decodes the legacy rows
+ * and silently re-packs the columns.  Unknown future versions fail
+ * with the version number and path in the message.
+ *
+ * The reader validates the magic, version and both digests; the
+ * fatal-on-error entry points are for tools and tests, the try*
+ * variant lets the trace cache fall back to a fresh capture when a
+ * spilled file is stale, truncated or corrupt.
  */
 
 #ifndef RRS_TRACE_TRACEFILE_HH
@@ -32,8 +42,8 @@ namespace rrs::trace {
 /** File magic: "RRST" read as a little-endian u32. */
 constexpr std::uint32_t traceFileMagic = 0x54535252u;
 
-/** Current format version. */
-constexpr std::uint32_t traceFileVersion = 1;
+/** Current (newest written) format version. */
+constexpr std::uint32_t traceFileVersion = 2;
 
 /** Canonical spill file name for a (workload, cap) pair. */
 std::string traceFileName(const std::string &workload, std::uint64_t cap);
@@ -56,9 +66,14 @@ bool tryWriteTraceFile(const std::string &path, const RecordedTrace &trace,
 /**
  * Read a trace file; returns nullptr and sets `error` on any problem
  * (missing file, bad magic, unsupported version, truncation, corrupt
- * record, digest mismatch) instead of terminating.
+ * record, digest mismatch) instead of terminating.  On success the
+ * returned trace is already packed (columns built and, for v2 files,
+ * verified against the stored packed digest).  When `fileVersion` is
+ * non-null it receives the version field of the file header whenever
+ * the header was readable, even if the read then fails.
  */
-TracePtr tryReadTraceFile(const std::string &path, std::string &error);
+TracePtr tryReadTraceFile(const std::string &path, std::string &error,
+                          std::uint32_t *fileVersion = nullptr);
 
 /** Read a trace file; fatal with a clear message on any problem. */
 TracePtr readTraceFile(const std::string &path);

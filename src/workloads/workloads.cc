@@ -146,8 +146,15 @@ captureTrace(const Workload &w, std::uint64_t maxInsts)
     e->setRecordHook(
         [&insts](const trace::DynInst &di) { insts.push_back(di); });
     e->run();
-    return std::make_shared<trace::RecordedTrace>(
+    auto trace = std::make_shared<trace::RecordedTrace>(
         w.name, cap, sourceHash(w), std::move(insts));
+    {
+        // Build the pre-decoded columns here, once, while the capture
+        // is still the only owner — the cycle loop never packs.
+        obs::ScopedPhase packPhase("pack");
+        trace->packed();
+    }
+    return trace;
 }
 
 std::unique_ptr<trace::InstStream>

@@ -57,6 +57,7 @@ sampleInfo()
     info.runs = 2;
     info.capturedInsts = 1234;
     info.replayedInsts = 5678;
+    info.packedRecords = 777;
     return info;
 }
 
@@ -92,8 +93,9 @@ TEST(Telemetry, RenderedTraceIsValidChromeJson)
     ASSERT_TRUE(events->isArray());
 
     // process_name metadata + 2 thread names + 2 spans + 2 counters on
-    // run 0, 1 span on run 1, sweep thread name + 2 sweep spans.
-    EXPECT_EQ(events->arr.size(), 10u);
+    // run 0, 1 span on run 1, sweep thread name + 3 sweep spans
+    // (capture, pack, stats-merge).
+    EXPECT_EQ(events->arr.size(), 11u);
 
     // Every event is on pid 1 (constant by design: worker identity is
     // scheduling noise and must not reach the trace).
@@ -103,8 +105,10 @@ TEST(Telemetry, RenderedTraceIsValidChromeJson)
         EXPECT_EQ(pid->num, 1.0);
     }
 
-    // The sweep track rides at tid == run count with the capture span.
-    bool sawCapture = false;
+    // The sweep track rides at tid == run count: capture, then the
+    // pack span (record-denominated) starting where capture ends, then
+    // stats-merge after both.
+    bool sawCapture = false, sawPack = false, sawMerge = false;
     for (const auto &ev : events->arr) {
         const auto *name = ev.find("name");
         if (name && name->str == "capture") {
@@ -112,8 +116,20 @@ TEST(Telemetry, RenderedTraceIsValidChromeJson)
             EXPECT_EQ(ev.at("tid").num, 2.0);
             EXPECT_EQ(ev.at("dur").num, 1234.0);
         }
+        if (name && name->str == "pack") {
+            sawPack = true;
+            EXPECT_EQ(ev.at("tid").num, 2.0);
+            EXPECT_EQ(ev.at("ts").num, 1234.0);
+            EXPECT_EQ(ev.at("dur").num, 777.0);
+        }
+        if (name && name->str == "stats-merge") {
+            sawMerge = true;
+            EXPECT_EQ(ev.at("ts").num, 1234.0 + 777.0);
+        }
     }
     EXPECT_TRUE(sawCapture);
+    EXPECT_TRUE(sawPack);
+    EXPECT_TRUE(sawMerge);
 }
 
 TEST(Telemetry, HostileNamesAreEscaped)

@@ -53,6 +53,12 @@ TEST(TraceCache, MissThenHitSharesOneTrace)
     EXPECT_EQ(c.capturedInsts, kCap);
     EXPECT_EQ(c.spillLoads, 0u);
     EXPECT_EQ(c.spillStores, 0u);
+    // The capture packed its columns exactly once — the hit did not
+    // re-pack (decode-once invariant), and the pack cost landed on
+    // the capture side of the ledger.
+    EXPECT_EQ(c.packedRecords, kCap);
+    EXPECT_GT(c.packSecondsCapture, 0.0);
+    EXPECT_EQ(c.packSecondsLoad, 0.0);
 }
 
 TEST(TraceCache, ZeroCapAndExplicitDefaultShareAnEntry)
@@ -174,6 +180,10 @@ TEST(TraceCache, SpillStoreAndLoadRoundTrip)
     EXPECT_EQ(c.spillLoads, 1u);
     EXPECT_EQ(c.spillStores, 0u);
     EXPECT_EQ(c.capturedInsts, 0u);  // nothing was emulated
+    // The loaded trace was packed on the load side of the ledger.
+    EXPECT_EQ(c.packedRecords, kCap);
+    EXPECT_EQ(c.packSecondsCapture, 0.0);
+    EXPECT_GT(c.packSecondsLoad, 0.0);
 
     ASSERT_TRUE(loaded);
     EXPECT_EQ(loaded->digest(), captured->digest());

@@ -9,7 +9,7 @@
  *       write the captured stream as a trace file.
  *
  *   rrs-tracetool info <file>
- *       Print a trace file's header, record count and digest.
+ *       Print a trace file's header, record count and digests.
  *
  *   rrs-tracetool verify <file>
  *       Structurally validate a trace file (magic, version, record
@@ -17,6 +17,12 @@
  *       in the registry — recapture it and compare digests, proving
  *       the file replays bit-identically to a live emulation of the
  *       current sources.  Exit status 0 only if everything matches.
+ *
+ *   rrs-tracetool mix <workload|file> [maxInsts]
+ *       Print the instruction-class mix (loads / stores / branches /
+ *       ALU, taken and dest-writer fractions), computed straight from
+ *       the packed attribute bitvectors.  A registry workload name
+ *       captures fresh; anything else is read as a trace file.
  */
 
 #include <cstdio>
@@ -24,6 +30,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "trace/packed.hh"
 #include "trace/recorded.hh"
 #include "trace/tracefile.hh"
 #include "workloads/workloads.hh"
@@ -40,9 +47,11 @@ usage()
                  "  capture <workload> <file> [maxInsts]  emulate once, "
                  "write trace\n"
                  "  info <file>                           print header "
-                 "and digest\n"
+                 "and digests\n"
                  "  verify <file>                         validate, then "
                  "compare against a fresh capture\n"
+                 "  mix <workload|file> [maxInsts]        instruction-"
+                 "class mix from the packed bitvectors\n"
                  "workloads: every name from the registry, e.g. "
                  "int_sort, fp_matmul, media_dct, cog_gmm\n");
     return 2;
@@ -59,10 +68,14 @@ findWorkload(const std::string &name)
 }
 
 void
-printInfo(const trace::RecordedTrace &t, const std::string &path)
+printInfo(const trace::RecordedTrace &t, const std::string &path,
+          std::uint32_t fileVersion)
 {
     std::printf("file:        %s\n", path.c_str());
-    std::printf("version:     %u\n", trace::traceFileVersion);
+    std::printf("version:     %u%s\n", fileVersion,
+                fileVersion < trace::traceFileVersion
+                    ? " (legacy; columns re-packed on load)"
+                    : "");
     std::printf("workload:    %s\n", t.workload().c_str());
     std::printf("cap:         %llu insts (post-warmup)\n",
                 static_cast<unsigned long long>(t.cap()));
@@ -71,6 +84,8 @@ printInfo(const trace::RecordedTrace &t, const std::string &path)
                 static_cast<unsigned long long>(t.sourceHash()));
     std::printf("digest:      %016llx\n",
                 static_cast<unsigned long long>(t.digest()));
+    std::printf("packed:      %016llx\n",
+                static_cast<unsigned long long>(t.packed().digest()));
     if (!t.empty()) {
         std::printf("first seq:   %llu\n",
                     static_cast<unsigned long long>(t[0].seq));
@@ -103,8 +118,13 @@ cmdInfo(int argc, char **argv)
 {
     if (argc != 3)
         return usage();
-    trace::TracePtr t = trace::readTraceFile(argv[2]);
-    printInfo(*t, argv[2]);
+    std::string error;
+    std::uint32_t fileVersion = 0;
+    trace::TracePtr t =
+        trace::tryReadTraceFile(argv[2], error, &fileVersion);
+    if (!t)
+        rrs_fatal("%s", error.c_str());
+    printInfo(*t, argv[2], fileVersion);
     return 0;
 }
 
@@ -113,7 +133,7 @@ cmdVerify(int argc, char **argv)
 {
     if (argc != 3)
         return usage();
-    // Structural validation (magic, version, records, digest) is the
+    // Structural validation (magic, version, records, digests) is the
     // reader itself; fatal with the reader's message on any problem.
     trace::TracePtr t = trace::readTraceFile(argv[2]);
     std::printf("structure:   ok (%zu records, digest verified)\n",
@@ -143,6 +163,100 @@ cmdVerify(int argc, char **argv)
     return 0;
 }
 
+int
+cmdMix(int argc, char **argv)
+{
+    if (argc < 3 || argc > 4)
+        return usage();
+    const std::uint64_t maxInsts =
+        argc == 4 ? std::strtoull(argv[3], nullptr, 0) : 0;
+
+    // A registry workload name captures fresh; anything else is a
+    // trace-file path.
+    trace::TracePtr t;
+    if (const workloads::Workload *w = findWorkload(argv[2])) {
+        t = workloads::captureTrace(*w, maxInsts);
+        std::printf("mix of workload '%s' (fresh capture)\n",
+                    w->name.c_str());
+    } else {
+        t = trace::readTraceFile(argv[2]);
+        std::printf("mix of trace file %s (workload '%s')\n", argv[2],
+                    t->workload().c_str());
+    }
+
+    const trace::PackedTrace &p = t->packed();
+    const auto total = static_cast<std::uint64_t>(p.size());
+    if (total == 0) {
+        std::printf("records:   0\n");
+        return 0;
+    }
+
+    // Whole-trace counts come straight from the attribute bitvectors:
+    // one popcount pass per attribute, no per-record decode.
+    const std::uint64_t loads = trace::PackedTrace::countBits(p.loadBits());
+    const std::uint64_t stores =
+        trace::PackedTrace::countBits(p.storeBits());
+    const std::uint64_t branches =
+        trace::PackedTrace::countBits(p.controlBits());
+    const std::uint64_t taken =
+        trace::PackedTrace::countBits(p.takenBits());
+    const std::uint64_t destWriters =
+        trace::PackedTrace::countBits(p.hasDestBits());
+    const std::uint64_t renamed =
+        trace::PackedTrace::countBits(p.writesRegBits());
+
+    // The ALU / nop split needs the class column (one byte compare per
+    // record — still no OpInfo chasing).
+    std::uint64_t intAlu = 0, fpAlu = 0, nops = 0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        switch (p.meta(i).cls) {
+          case isa::InstClass::IntAlu:
+          case isa::InstClass::IntMult:
+          case isa::InstClass::IntDiv:
+            ++intAlu;
+            break;
+          case isa::InstClass::FpAlu:
+          case isa::InstClass::FpMult:
+          case isa::InstClass::FpDiv:
+            ++fpAlu;
+            break;
+          case isa::InstClass::Nop:
+            ++nops;
+            break;
+          default:
+            break;
+        }
+    }
+
+    auto pct = [total](std::uint64_t v) {
+        return 100.0 * static_cast<double>(v) /
+               static_cast<double>(total);
+    };
+    std::printf("records:   %llu\n",
+                static_cast<unsigned long long>(total));
+    std::printf("loads:     %10llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(loads), pct(loads));
+    std::printf("stores:    %10llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(stores), pct(stores));
+    std::printf("branches:  %10llu  (%5.1f%%, %.1f%% taken)\n",
+                static_cast<unsigned long long>(branches), pct(branches),
+                branches == 0 ? 0.0
+                              : 100.0 * static_cast<double>(taken) /
+                                    static_cast<double>(branches));
+    std::printf("int alu:   %10llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(intAlu), pct(intAlu));
+    std::printf("fp alu:    %10llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(fpAlu), pct(fpAlu));
+    std::printf("nops:      %10llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(nops), pct(nops));
+    std::printf("dest writers: %llu of %llu (%.1f%%); %llu allocate a "
+                "rename (%.1f%%)\n",
+                static_cast<unsigned long long>(destWriters),
+                static_cast<unsigned long long>(total), pct(destWriters),
+                static_cast<unsigned long long>(renamed), pct(renamed));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -156,5 +270,7 @@ main(int argc, char **argv)
         return cmdInfo(argc, argv);
     if (std::strcmp(argv[1], "verify") == 0)
         return cmdVerify(argc, argv);
+    if (std::strcmp(argv[1], "mix") == 0)
+        return cmdMix(argc, argv);
     return usage();
 }
