@@ -102,14 +102,64 @@ matrixJsonPath()
     return path;
 }
 
+/**
+ * The `--sample` / RRS_SAMPLE override: disabled (exact simulation)
+ * unless the flag was given, in which case it wins over any "sampling"
+ * block of the matrix document.
+ */
+inline harness::SamplingParams &
+sampleOverride()
+{
+    static harness::SamplingParams p;
+    return p;
+}
+
+/** Default `--sample` windows: 12.5% detailed, ~warmed-up caches. */
+constexpr std::uint64_t sampleWarmDefault = 2048;
+constexpr std::uint64_t sampleDetailedDefault = 1024;
+constexpr std::uint64_t samplePeriodDefault = 8192;
+
+/**
+ * Parse a "warm:detailed:period" sampling spec; "" and "1" (a plain
+ * RRS_SAMPLE=1) select the defaults.  Fatal on anything malformed.
+ */
+inline harness::SamplingParams
+parseSampleSpec(const char *spec)
+{
+    harness::SamplingParams p;
+    p.warm = sampleWarmDefault;
+    p.detailed = sampleDetailedDefault;
+    p.period = samplePeriodDefault;
+    if (spec != nullptr && *spec != '\0' && std::strcmp(spec, "1") != 0) {
+        unsigned long long w = 0, d = 0, per = 0;
+        char trail = '\0';
+        if (std::sscanf(spec, "%llu:%llu:%llu%c", &w, &d, &per,
+                        &trail) != 3 ||
+            d == 0 || per == 0 || per < w + d) {
+            rrs_fatal("sampling spec must be warm:detailed:period "
+                      "(period >= warm + detailed, detailed > 0), "
+                      "got '%s'", spec);
+        }
+        p.warm = w;
+        p.detailed = d;
+        p.period = per;
+    }
+    return p;
+}
+
 /** This invocation's sweep matrix (parsed once, fatal on problems). */
 inline const harness::SweepMatrix &
 matrix()
 {
-    static const harness::SweepMatrix m =
-        matrixJsonPath().empty()
-            ? harness::parseSweepMatrix(defaultMatrixJson())
-            : harness::loadSweepMatrixFile(matrixJsonPath());
+    static const harness::SweepMatrix m = [] {
+        harness::SweepMatrix mm =
+            matrixJsonPath().empty()
+                ? harness::parseSweepMatrix(defaultMatrixJson())
+                : harness::loadSweepMatrixFile(matrixJsonPath());
+        if (sampleOverride().enabled())
+            mm.sampling = sampleOverride();
+        return mm;
+    }();
     return m;
 }
 
@@ -211,8 +261,10 @@ selectedWorkloads()
  * <name>` and `--workload <substr>` (subset selection for quick
  * iteration; see selectedWorkloads()), `--matrix <file>` (a JSON sweep
  * matrix replacing the bench's default scheme/size grid; see
- * harness/sweepmatrix.hh), and returns the arguments it did not
- * consume, in order, for the bench's own flags (e.g. fig10's --quick).
+ * harness/sweepmatrix.hh), `--sample [warm:detailed:period]` (SMARTS
+ * sampled simulation, default 2048:1024:8192; also RRS_SAMPLE=1 or
+ * RRS_SAMPLE=W:D:P), and returns the arguments it did not consume, in
+ * order, for the bench's own flags (e.g. fig10's --quick).
  */
 inline std::vector<std::string>
 init(int argc, char **argv)
@@ -221,6 +273,10 @@ init(int argc, char **argv)
         statsJsonPath() = env;
     if (const char *env = std::getenv("RRS_BENCH_JSON"))
         benchJsonDir() = env;
+    if (const char *env = std::getenv("RRS_SAMPLE")) {
+        if (*env != '\0' && std::strcmp(env, "0") != 0)
+            sampleOverride() = parseSampleSpec(env);
+    }
     // Label telemetry traces with this binary's name so a directory of
     // RRS_TELEMETRY exports stays attributable per bench.  argv[0] is
     // used (rather than the finish() name) because sweeps run between
@@ -273,13 +329,24 @@ init(int argc, char **argv)
             if (i + 1 >= argc)
                 rrs_fatal("--matrix needs a JSON file argument");
             matrixJsonPath() = argv[++i];
-            // Parse (and so validate) eagerly: a bad matrix dies here,
-            // before any simulation work starts.
-            (void)matrix();
+        } else if (std::strcmp(argv[i], "--sample") == 0) {
+            // The warm:detailed:period spec is optional; a following
+            // argument is taken as one only when it looks like a spec,
+            // so `--sample --prof` keeps working.
+            const char *spec = "";
+            if (i + 1 < argc &&
+                std::strchr(argv[i + 1], ':') != nullptr)
+                spec = argv[++i];
+            sampleOverride() = parseSampleSpec(spec);
         } else {
             rest.emplace_back(argv[i]);
         }
     }
+    // Parse (and so validate) the matrix eagerly once all overrides are
+    // in: a bad --matrix file or --sample spec dies here, before any
+    // simulation work starts.
+    if (!matrixJsonPath().empty())
+        (void)matrix();
     return rest;
 }
 

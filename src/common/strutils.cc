@@ -2,7 +2,10 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
+#include <locale>
+#include <sstream>
 
 namespace rrs {
 
@@ -86,19 +89,52 @@ parseInt(std::string_view s)
     return static_cast<std::int64_t>(v);
 }
 
+const char *
+parseDoublePrefix(const char *first, const char *last, double &out)
+{
+#if defined(__cpp_lib_to_chars)
+    // std::from_chars always parses with '.' as the decimal separator,
+    // so a comma-decimal global locale (de_DE and friends) cannot skew
+    // how stats-json, BENCH_*.json or sweep matrices read back.
+    // std::strtod, which this replaces, honours the locale and would
+    // silently stop at the '.' there.
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec == std::errc{})
+        return ptr;
+    // result_out_of_range is a parse failure too, like the
+    // strtod-with-errno check this replaces: no serializer here ever
+    // emits a non-representable literal.
+    return first;
+#else
+    // Pre-<charconv>-FP toolchains: an istringstream imbued with the
+    // classic locale is the portable locale-independent fallback.
+    std::istringstream is(std::string(first, last));
+    is.imbue(std::locale::classic());
+    double v = 0;
+    if (!(is >> v))
+        return first;
+    out = v;
+    if (is.eof())
+        return last;
+    return first + is.tellg();
+#endif
+}
+
 std::optional<double>
 parseDouble(std::string_view s)
 {
     s = trim(s);
     if (!s.empty() && s.front() == '#')
         s.remove_prefix(1);
+    // strtod accepted a leading '+'; std::from_chars does not.
+    if (!s.empty() && s.front() == '+')
+        s.remove_prefix(1);
     if (s.empty())
         return std::nullopt;
-    std::string buf(s);
-    errno = 0;
-    char *end = nullptr;
-    double v = std::strtod(buf.c_str(), &end);
-    if (errno != 0 || end != buf.c_str() + buf.size())
+    double v = 0;
+    const char *first = s.data();
+    const char *last = s.data() + s.size();
+    if (parseDoublePrefix(first, last, v) != last)
         return std::nullopt;
     return v;
 }

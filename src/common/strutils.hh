@@ -37,8 +37,23 @@ bool startsWith(std::string_view s, std::string_view prefix);
  */
 std::optional<std::int64_t> parseInt(std::string_view s);
 
-/** Parse a double. Returns nullopt on garbage. */
+/**
+ * Parse a double.  Returns nullopt on garbage.  Locale-independent:
+ * the decimal separator is always '.', whatever the global locale says
+ * (std::strtod would honour a comma-decimal locale and misparse every
+ * float in stats-json, BENCH_*.json and sweep matrices).
+ */
 std::optional<double> parseDouble(std::string_view s);
+
+/**
+ * Locale-independent strtod-style prefix parse: reads the longest
+ * valid floating-point number starting at `first` (JSON/C grammar,
+ * '.' decimal separator regardless of the global locale) into `out`.
+ * @return pointer one past the parsed text, or `first` when no number
+ *         starts there.
+ */
+const char *parseDoublePrefix(const char *first, const char *last,
+                              double &out);
 
 } // namespace rrs
 

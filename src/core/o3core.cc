@@ -770,7 +770,10 @@ O3Core::run()
 {
     simResult = SimResult{};
     finished = false;
-    lastCommitTick = 0;
+    // From `now`, not 0: windowed mode re-enters run() with the clock
+    // already advanced, and an absolute-zero watermark would trip the
+    // deadlock panic spuriously.  First call: now == 0, identical.
+    lastCommitTick = now;
 
     while (!finished) {
         commitStage();
@@ -813,6 +816,52 @@ O3Core::run()
     if (tracer)
         tracer->finishRun();
     return simResult;
+}
+
+SimResult
+O3Core::runWindow(std::uint64_t insts)
+{
+    const std::uint64_t savedMax = params.maxInsts;
+    params.maxInsts = insts;
+    const Tick start = now;
+    SimResult r = run();   // commit counts are per-run() already
+    params.maxInsts = savedMax;
+    r.cycles = now - start;
+    return r;
+}
+
+void
+O3Core::discardInFlight()
+{
+    // flushAll squashes wrong-path work, rolls the renamer back
+    // through its history and recovers shadow cells — exactly the
+    // abandon-the-window semantics needed — but it also queues the
+    // correct-path instructions for refetch; windowed mode re-seeks
+    // the stream to the commit point instead, so drop them.
+    flushAll(0);
+    replayBuffer.clear();
+    pendingInst.reset();
+    onWrongPath = false;
+    streamDone = false;
+    finished = false;
+    lastFetchLine = invalidAddr;
+    fetchBlockedUntil = now;
+}
+
+void
+O3Core::advanceClock(Tick to)
+{
+    if (to <= now)
+        return;
+    now = to;
+    // Resync the timer-interrupt schedule: without this a long warm
+    // jump would deliver one pending interrupt per window cycle until
+    // the schedule caught up.
+    if (params.interruptInterval > 0) {
+        while (nextInterrupt <= now)
+            nextInterrupt += params.interruptInterval;
+    }
+    lastCommitTick = now;
 }
 
 } // namespace rrs::core

@@ -68,6 +68,39 @@ class O3Core : public stats::Group
     /** Run the stream to completion; returns timing results. */
     SimResult run();
 
+    // --- windowed-mode hooks (harness/sampling.hh) ------------------
+    //
+    // A SamplingController alternates functional-warm spans with
+    // detailed windows on one long-lived core, so predictor and cache
+    // state carry across windows.  Exact mode never calls any of
+    // these; run() alone is bit-identical to the pre-sampling core.
+
+    /** The current cycle (absolute across windowed runs). */
+    Tick nowTick() const { return now; }
+
+    /**
+     * Run until `insts` more instructions commit (or the stream
+     * drains).  Unlike run(), the returned cycles field is the
+     * *delta* spent in this window, not the absolute clock.
+     */
+    SimResult runWindow(std::uint64_t insts);
+
+    /**
+     * Throw away everything in flight (ROB, IQ, fetch queue, stream
+     * lookahead) without refetching it, leaving the renamer rolled
+     * back and the core ready to fetch from wherever the stream cursor
+     * is moved next.  The caller must re-seek the stream to the commit
+     * point: in-flight instructions were consumed but never committed.
+     */
+    void discardInFlight();
+
+    /**
+     * Jump the clock forward to `to` (a functional-warm span elapsed).
+     * Keeps the interrupt schedule and deadlock watchdog in sync so a
+     * jump is never mistaken for a stall.
+     */
+    void advanceClock(Tick to);
+
     /**
      * Install a periodic sampler (e.g. register bank occupancy for
      * Fig. 9); called every `interval` cycles with the current tick.

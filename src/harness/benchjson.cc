@@ -62,6 +62,22 @@ jsonNum(double v)
     return buf;
 }
 
+/**
+ * Human-facing significant-digit form for diff tables.  Never a
+ * substr of the %.17g round-trip form: truncating "5.72e-06" at a
+ * fixed width drops the exponent and prints a number a million times
+ * too large.
+ */
+std::string
+sigFig(double v, int digits)
+{
+    if (!std::isfinite(v))
+        return "nan";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+    return buf;
+}
+
 /** Exact u64 from a jsonlite double (exact up to 2^53 — plenty). */
 std::uint64_t
 asU64(const obs::json::Value &v)
@@ -223,7 +239,20 @@ renderBenchJson(const BenchResult &r)
            << jsonStr(run.scheme) << ", \"insts\": " << run.insts
            << ", \"cycles\": " << run.cycles << ", \"ipc\": "
            << jsonNum(run.ipc()) << ", \"wall_seconds\": "
-           << jsonNum(run.wallSeconds) << "}";
+           << jsonNum(run.wallSeconds);
+        if (run.sampled.enabled) {
+            const SampledSummary &sm = run.sampled;
+            os << ", \"sampled\": {\"windows\": " << sm.windows
+               << ", \"mean_ipc\": " << jsonNum(sm.meanIpc)
+               << ", \"stddev_ipc\": " << jsonNum(sm.stddevIpc)
+               << ", \"ci95_ipc\": " << jsonNum(sm.ci95Ipc)
+               << ", \"median_ipc\": " << jsonNum(sm.medianIpc)
+               << ", \"detailed_insts\": " << sm.detailedInsts
+               << ", \"detailed_cycles\": " << sm.detailedCycles
+               << ", \"warm_insts\": " << sm.warmInsts
+               << ", \"skipped_insts\": " << sm.skippedInsts << "}";
+        }
+        os << "}";
         first = false;
     }
     os << (first ? "" : "\n  ") << "],\n"
@@ -314,6 +343,27 @@ loadBenchJson(const std::string &path, BenchResult &out,
                 run.cycles = asU64(*f);
             if (const auto *f = e.find("wall_seconds"))
                 run.wallSeconds = f->num;
+            if (const auto *f = e.find("sampled")) {
+                run.sampled.enabled = true;
+                if (const auto *s = f->find("windows"))
+                    run.sampled.windows = asU64(*s);
+                if (const auto *s = f->find("mean_ipc"))
+                    run.sampled.meanIpc = s->num;
+                if (const auto *s = f->find("stddev_ipc"))
+                    run.sampled.stddevIpc = s->num;
+                if (const auto *s = f->find("ci95_ipc"))
+                    run.sampled.ci95Ipc = s->num;
+                if (const auto *s = f->find("median_ipc"))
+                    run.sampled.medianIpc = s->num;
+                if (const auto *s = f->find("detailed_insts"))
+                    run.sampled.detailedInsts = asU64(*s);
+                if (const auto *s = f->find("detailed_cycles"))
+                    run.sampled.detailedCycles = asU64(*s);
+                if (const auto *s = f->find("warm_insts"))
+                    run.sampled.warmInsts = asU64(*s);
+                if (const auto *s = f->find("skipped_insts"))
+                    run.sampled.skippedInsts = asU64(*s);
+            }
             out.runs.push_back(std::move(run));
         }
     }
@@ -396,6 +446,31 @@ diffBenchResults(const BenchResult &base, const BenchResult &cur,
                              "run " + std::to_string(i), "", "reordered"});
             continue;
         }
+        if (b.sampled.enabled || c.sampled.enabled) {
+            // Sampled rows are estimates, not bit-exact results: gate
+            // on 95% CI overlap of the mean IPC instead of equality.
+            if (b.sampled.enabled != c.sampled.enabled) {
+                drift.push_back({b.workload, b.scheme, "sampled",
+                                 b.sampled.enabled ? "yes" : "no",
+                                 c.sampled.enabled ? "yes" : "no",
+                                 "mode changed"});
+                continue;
+            }
+            const double gap =
+                std::fabs(b.sampled.meanIpc - c.sampled.meanIpc);
+            const double ciSum = b.sampled.ci95Ipc + c.sampled.ci95Ipc;
+            if (gap > ciSum) {
+                char d[64];
+                std::snprintf(d, sizeof(d), "%+.4f%% > CI %s",
+                              pctDelta(b.sampled.meanIpc,
+                                       c.sampled.meanIpc),
+                              sigFig(ciSum, 3).c_str());
+                drift.push_back({b.workload, b.scheme, "mean_ipc",
+                                 sigFig(b.sampled.meanIpc, 6),
+                                 sigFig(c.sampled.meanIpc, 6), d});
+            }
+            continue;
+        }
         if (b.insts != c.insts) {
             drift.push_back({b.workload, b.scheme, "insts",
                              u64Str(b.insts), u64Str(c.insts),
@@ -409,8 +484,8 @@ diffBenchResults(const BenchResult &base, const BenchResult &cur,
                              u64Str(b.cycles), u64Str(c.cycles),
                              signedDelta(b.cycles, c.cycles)});
             drift.push_back({b.workload, b.scheme, "ipc",
-                             jsonNum(b.ipc()).substr(0, 8),
-                             jsonNum(c.ipc()).substr(0, 8), ipc});
+                             sigFig(b.ipc(), 6), sigFig(c.ipc(), 6),
+                             ipc});
         }
     }
     if (base.traceHits != cur.traceHits ||
@@ -491,14 +566,7 @@ diffBenchResults(const BenchResult &base, const BenchResult &cur,
             slot(ph.path).c = &ph;
 
         auto secs = [](const BenchResult::PhaseRow *r) {
-            // %g, not a substr of the JSON round-trip form: truncating
-            // "5.72e-06" at 9 chars would drop the exponent and print
-            // a number a million times too large.
-            char buf[32];
-            if (!r)
-                return std::string("-");
-            std::snprintf(buf, sizeof(buf), "%.4g", r->seconds);
-            return std::string(buf);
+            return r ? sigFig(r->seconds, 4) : std::string("-");
         };
         auto p95 = [](const BenchResult::PhaseRow *r) {
             char buf[32];

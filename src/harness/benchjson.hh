@@ -36,8 +36,13 @@
 
 namespace rrs::harness {
 
-/** Bump when the BENCH_*.json layout changes incompatibly. */
-constexpr int benchSchemaVersion = 1;
+/**
+ * Bump when the BENCH_*.json layout changes incompatibly.
+ * v2: run rows may carry a "sampled" object (SMARTS sampled runs,
+ * harness/sampling.hh); the diff gates those rows on CI overlap
+ * instead of exact insts/cycles equality.
+ */
+constexpr int benchSchemaVersion = 2;
 
 /** One recorded bench run: the content of BENCH_<bench>.json. */
 struct BenchResult

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/threadpool.hh"
 #include "core/o3core.hh"
+#include "harness/sampling.hh"
 #include "harness/tracecache.hh"
 #include "obs/flightrec.hh"
 #include "obs/pipetrace.hh"
@@ -199,9 +200,18 @@ runOn(const workloads::Workload &w, const RunConfig &config,
 
     {
         // The timing-model phase of the run; capture/warmup time is
-        // charged inside traceCache().get() above.
+        // charged inside traceCache().get() above.  Exact mode (the
+        // default) is the untouched core.run() path; sampled mode
+        // hands the same rig to the SMARTS controller, which owns the
+        // warm/detailed/skip schedule over the same stream.
         obs::ScopedPhase phase("simulate");
-        out.sim = core.run();
+        if (config.sampling.enabled()) {
+            SamplingController sampler(config.sampling, core, stream,
+                                       mem, bp);
+            out.sampled = sampler.run(out.sim);
+        } else {
+            out.sim = core.run();
+        }
     }
     traceCache().noteReplayed(stream.replayed());
     out.stalls = core.stallBreakdown();

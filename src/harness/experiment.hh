@@ -17,6 +17,7 @@
 #include "area/area.hh"
 #include "bpred/bpred.hh"
 #include "core/params.hh"
+#include "harness/sampling.hh"
 #include "mem/memsystem.hh"
 #include "obs/stallcause.hh"
 #include "rename/scheme.hh"
@@ -99,6 +100,15 @@ struct RunConfig
     bpred::BPredParams bpred;
     ObsOptions obs;                      //!< tracing / sampling, off by default
     std::uint64_t maxInsts = 0;          //!< 0: workload default
+
+    /**
+     * SMARTS-style sampled simulation (harness/sampling.hh).  Disabled
+     * by default: exact mode takes the identical code path it always
+     * did, bit for bit.  Enabled, the run alternates functional-warm
+     * spans and detailed windows and Outcome::sampled reports the
+     * windowed IPC statistics.
+     */
+    SamplingParams sampling;
 };
 
 /** Everything a run reports. */
@@ -134,6 +144,20 @@ struct Outcome
     std::vector<std::uint32_t> sharedAtLeast1;
     std::vector<std::uint32_t> sharedAtLeast2;
     std::vector<std::uint32_t> sharedAtLeast3;
+
+    /**
+     * Sampled-run statistics (enabled only when RunConfig::sampling
+     * was).  In sampled mode `sim` holds the detailed-portion
+     * aggregates (windows only, fill included).
+     */
+    SampledSummary sampled;
+
+    /** The headline IPC: the sampled mean when sampling, sim otherwise. */
+    double
+    reportedIpc() const
+    {
+        return sampled.enabled ? sampled.meanIpc : sim.ipc();
+    }
 };
 
 /** Run one workload under one configuration. */

@@ -44,7 +44,20 @@ SweepRunner::SweepRunner(unsigned threads)
       auditChecks(this, "audit_checks",
                   "rename invariant audits across the sweep"),
       auditViolations(this, "audit_violations",
-                      "rename invariant violations across the sweep")
+                      "rename invariant violations across the sweep"),
+      sampledRuns(this, "sampled_runs",
+                  "runs executed in sampled (SMARTS) mode"),
+      sampledWindows(this, "sampled_windows",
+                     "measured detailed windows across sampled runs"),
+      sampledDetailedInsts(this, "sampled_detailed_insts",
+                           "instructions simulated in detail "
+                           "(sampled runs, incl. pipeline fill)"),
+      sampledWarmInsts(this, "sampled_warm_insts",
+                       "instructions functionally warmed"),
+      sampledSkippedInsts(this, "sampled_skipped_insts",
+                          "instructions neither warmed nor simulated"),
+      sampledCiPct(this, "sampled_ci_pct",
+                   "per-run 95% CI as a percent of mean IPC")
 {
     if (const char *env = std::getenv("RRS_PIPETRACE"))
         tracePrefix = env;
@@ -166,6 +179,24 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         rec.insts = results[i].outcome.sim.committedInsts;
         rec.cycles = results[i].outcome.sim.cycles;
         rec.wallSeconds = results[i].wallSeconds;
+        rec.sampled = results[i].outcome.sampled;
+        // Sampled totals, accumulated post-join in submission order
+        // like the audit counters, so they inherit the determinism
+        // contract.
+        const SampledSummary &sm = rec.sampled;
+        if (sm.enabled) {
+            ++sampledRuns;
+            sampledWindows += static_cast<double>(sm.windows);
+            sampledDetailedInsts +=
+                static_cast<double>(sm.detailedInsts);
+            sampledWarmInsts += static_cast<double>(sm.warmInsts);
+            sampledSkippedInsts +=
+                static_cast<double>(sm.skippedInsts);
+            if (sm.meanIpc > 0) {
+                sampledCiPct.sample(static_cast<std::uint64_t>(
+                    100.0 * sm.ci95Ipc / sm.meanIpc));
+            }
+        }
         records.push_back(std::move(rec));
     }
     traceCaptureInsts =

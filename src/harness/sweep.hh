@@ -125,6 +125,14 @@ struct RunRecord
     std::uint64_t cycles = 0;
     double wallSeconds = 0;
 
+    /**
+     * Sampled-run statistics (harness/sampling.hh); enabled only for
+     * sampled sweeps.  For those rows insts/cycles are the
+     * detailed-portion aggregates, the mean/CI here are the headline,
+     * and rrs-benchdiff gates on CI overlap instead of exact equality.
+     */
+    SampledSummary sampled;
+
     double
     ipc() const
     {
@@ -243,6 +251,16 @@ class SweepRunner : public stats::Group
     // from the per-run Outcomes, so the count is schedule-independent).
     stats::Scalar auditChecks;
     stats::Scalar auditViolations;
+
+    // Sampled-simulation totals of the most recent run() (zero when
+    // every run was exact).  Same post-join merge discipline; these
+    // surface in the stats-json dump and the metric schema.
+    stats::Scalar sampledRuns;
+    stats::Scalar sampledWindows;
+    stats::Scalar sampledDetailedInsts;
+    stats::Scalar sampledWarmInsts;
+    stats::Scalar sampledSkippedInsts;
+    stats::Distribution sampledCiPct;   //!< per-run 100*ci95/mean (pct)
 };
 
 /** Convenience builder. */

@@ -201,10 +201,55 @@ tryParseSweepMatrix(const std::string &text, SweepMatrix &out,
                 return false;
             }
             m.audit = val.boolean;
+        } else if (key == "sampling") {
+            if (!val.isObject()) {
+                error = "sweep matrix: 'sampling' must be an object "
+                        "with warm/detailed/period members";
+                return false;
+            }
+            if (!checkNoDuplicateKeys(val, "the sampling block", error))
+                return false;
+            for (const auto &[sk, sv] : val.members) {
+                const bool isWarm = sk == "warm";
+                if (!isWarm && sk != "detailed" && sk != "period") {
+                    error = "sweep matrix: unknown sampling key '" + sk +
+                            "' (expected warm/detailed/period)";
+                    return false;
+                }
+                // warm may be zero (no functional warming); detailed
+                // and period must be positive for the mode to mean
+                // anything.
+                if (!sv.isNumber() || sv.num < (isWarm ? 0 : 1) ||
+                    sv.num != std::floor(sv.num)) {
+                    error = "sweep matrix: sampling '" + sk + "' must "
+                            "be a " +
+                            (isWarm ? "non-negative" : "positive") +
+                            std::string(" integer");
+                    return false;
+                }
+                const auto n = static_cast<std::uint64_t>(sv.num);
+                if (sk == "warm")
+                    m.sampling.warm = n;
+                else if (sk == "detailed")
+                    m.sampling.detailed = n;
+                else
+                    m.sampling.period = n;
+            }
+            if (!m.sampling.enabled()) {
+                error = "sweep matrix: 'sampling' needs positive "
+                        "'detailed' and 'period' members";
+                return false;
+            }
+            if (m.sampling.period <
+                m.sampling.warm + m.sampling.detailed) {
+                error = "sweep matrix: sampling 'period' must cover "
+                        "warm + detailed";
+                return false;
+            }
         } else {
             error = "sweep matrix: unknown key '" + key +
                     "' (expected schemes/rf_sizes/cap/sample_sharing/"
-                    "suite/audit)";
+                    "suite/audit/sampling)";
             return false;
         }
     }
@@ -261,6 +306,7 @@ matrixConfig(const SchemeSpec &spec, std::uint32_t baselineRegs,
     }
     cfg.maxInsts = m.cap > 0 ? m.cap : capDefault;
     cfg.obs.auditDisabled = !m.audit;
+    cfg.sampling = m.sampling;
     return cfg;
 }
 

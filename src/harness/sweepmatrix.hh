@@ -58,6 +58,13 @@ struct SweepMatrix
     bool sampleSharing = false;  //!< collect the Fig. 9 series per run
     std::string suite;           //!< workload suite filter; "": all
     bool audit = true;           //!< false: force invariant auditing off
+
+    /**
+     * SMARTS sampled simulation for every run of the grid (a
+     * `"sampling": {"warm": W, "detailed": D, "period": P}` block;
+     * harness/sampling.hh).  Disabled — exact simulation — when absent.
+     */
+    SamplingParams sampling;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/strutils.hh"
 
 namespace rrs::obs::json {
 
@@ -172,9 +173,15 @@ class Parser
     bool
     parseNumber(Value &out)
     {
+        // Locale-independent (common/strutils.hh): std::strtod honours
+        // the global locale's decimal separator, so under de_DE-style
+        // locales it would read "1.5" as 1 and desynchronise the
+        // cursor; every float in stats-json and BENCH_*.json would
+        // misparse.
         const char *start = text.c_str() + pos;
-        char *end = nullptr;
-        double v = std::strtod(start, &end);
+        const char *last = text.c_str() + text.size();
+        double v = 0;
+        const char *end = parseDoublePrefix(start, last, v);
         if (end == start)
             return fail("expected value");
         pos += static_cast<std::size_t>(end - start);

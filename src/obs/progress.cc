@@ -100,10 +100,17 @@ ProgressReporter::formatLine(const Snapshot &s)
                   "sweep %zu/%zu (%.1f%%) %.1f runs/s %.2f Minst/s",
                   s.completed, s.total, pct, runsPerSec, minstPerSec);
     std::string line = buf;
-    if (runsPerSec > 0 && s.completed < s.total) {
-        std::snprintf(buf, sizeof(buf), " ETA %.0fs",
-                      static_cast<double>(s.total - s.completed) /
-                          runsPerSec);
+    // ETA only once there is something to extrapolate from: the first
+    // sub-second heartbeat divides by a near-zero elapsed time (inf or
+    // wildly wrong estimates), and zero completed runs means the rate
+    // is pure noise.
+    if (runsPerSec > 0 && s.completed > 0 && s.elapsedSeconds >= 1.0 &&
+        s.completed < s.total) {
+        double eta = static_cast<double>(s.total - s.completed) /
+                     runsPerSec;
+        if (!(eta >= 0))
+            eta = 0;   // clamp negatives and NaN
+        std::snprintf(buf, sizeof(buf), " ETA %.0fs", eta);
         line += buf;
     }
 

@@ -101,6 +101,16 @@ class ReplayStream : public InstStream
     void reset() override { pos = 0; }
     const std::string &name() const override;
 
+    /**
+     * Reposition the cursor to record `p` (clamped to the trace end).
+     * The sampling controller uses this to reconcile the cursor with
+     * the commit point after a detailed window — the core's fetch
+     * lookahead leaves the cursor ahead of the last committed record —
+     * and to jump over functionally-warmed / skipped spans.  Does not
+     * count toward replayed(): only records actually emitted do.
+     */
+    void seek(std::size_t p) { pos = p < src->size() ? p : src->size(); }
+
     /** Records emitted over the stream's lifetime (survives reset()). */
     std::uint64_t replayed() const { return emitted; }
 

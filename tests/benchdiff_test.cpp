@@ -247,6 +247,98 @@ TEST(BenchDiff, NoPhasesMeansNoPhaseTable)
     EXPECT_EQ(os.str().find("phase profile"), std::string::npos);
 }
 
+TEST(BenchDiff, TinyIpcKeepsItsExponentInDriftRows)
+{
+    // A run whose IPC is far below 1e-3 (1 inst in 175000 cycles).
+    // The drift table used to truncate the %.17g form at 8 chars,
+    // printing "5.714285" — a million times the actual 5.71e-06.
+    BenchResult base = sampleResult();
+    base.runs[0].insts = 1;
+    base.runs[0].cycles = 175000;
+    BenchResult cur = base;
+    cur.runs[0].cycles = 174000;
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 1);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("e-06"), std::string::npos) << text;
+    EXPECT_EQ(text.find("5.714285 "), std::string::npos) << text;
+}
+
+harness::SampledSummary
+sampledStats(double mean, double ci)
+{
+    harness::SampledSummary sm;
+    sm.enabled = true;
+    sm.windows = 16;
+    sm.meanIpc = mean;
+    sm.stddevIpc = ci / 1.96 * 4.0;   // n = 16 -> sqrt(n) = 4
+    sm.ci95Ipc = ci;
+    sm.medianIpc = mean;
+    sm.detailedInsts = 16384;
+    sm.detailedCycles =
+        static_cast<std::uint64_t>(16384.0 / mean);
+    sm.warmInsts = 16384;
+    sm.skippedInsts = 98304;
+    return sm;
+}
+
+TEST(BenchJson, SampledRowsRoundTrip)
+{
+    BenchResult r = sampleResult();
+    r.runs[1].sampled = sampledStats(0.83, 0.021);
+    const std::string path =
+        testing::TempDir() + "/sampled/BENCH_fig11_ipc.json";
+    std::string error;
+    ASSERT_TRUE(harness::tryWriteBenchJson(path, r, error)) << error;
+
+    BenchResult back;
+    ASSERT_TRUE(harness::loadBenchJson(path, back, error)) << error;
+    ASSERT_EQ(back.runs.size(), r.runs.size());
+    EXPECT_FALSE(back.runs[0].sampled.enabled);
+    const harness::SampledSummary &sm = back.runs[1].sampled;
+    ASSERT_TRUE(sm.enabled);
+    EXPECT_EQ(sm.windows, 16u);
+    EXPECT_DOUBLE_EQ(sm.meanIpc, 0.83);
+    EXPECT_DOUBLE_EQ(sm.ci95Ipc, 0.021);
+    EXPECT_DOUBLE_EQ(sm.medianIpc, 0.83);
+    EXPECT_EQ(sm.detailedInsts, 16384u);
+    EXPECT_EQ(sm.warmInsts, 16384u);
+    EXPECT_EQ(sm.skippedInsts, 98304u);
+}
+
+TEST(BenchDiff, SampledRowsGateOnCiOverlapNotExactEquality)
+{
+    BenchResult base = sampleResult();
+    for (auto &run : base.runs)
+        run.sampled = sampledStats(0.80, 0.02);
+    BenchResult cur = base;
+    // Different detailed aggregates AND a slightly different mean:
+    // inside the summed CIs, so this must be clean.
+    cur.runs[0].cycles += 1234;
+    cur.runs[0].sampled = sampledStats(0.83, 0.02);
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 0);
+    EXPECT_NE(os.str().find("exact metrics: OK"), std::string::npos);
+
+    // Push the mean outside base.ci + cur.ci: now it is drift.
+    cur.runs[0].sampled = sampledStats(0.85, 0.02);
+    std::ostringstream bad;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, bad), 1);
+    EXPECT_NE(bad.str().find("mean_ipc"), std::string::npos)
+        << bad.str();
+}
+
+TEST(BenchDiff, SampledModeMismatchIsDrift)
+{
+    BenchResult base = sampleResult();
+    BenchResult cur = base;
+    cur.runs[2].sampled = sampledStats(0.77, 0.02);
+    std::ostringstream os;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, {}, os), 1);
+    EXPECT_NE(os.str().find("mode changed"), std::string::npos)
+        << os.str();
+}
+
 TEST(BenchJson, MetricSchemaSurvivesRender)
 {
     BenchResult r = sampleResult();

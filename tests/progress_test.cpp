@@ -1,0 +1,94 @@
+// Tests for the progress heartbeat's line renderer
+// (obs/progress.hh formatLine): the counters-to-text mapping is a pure
+// function, so the ETA guards — no estimate from a sub-second elapsed
+// time, from zero completed runs, or past the end of the sweep, and
+// never a negative ETA — pin down exactly.  The first heartbeat of a
+// sweep used to divide by a near-zero elapsed time and print "ETA
+// 9223372036854775807s"-class garbage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/progress.hh"
+
+namespace {
+
+using rrs::obs::ProgressReporter;
+using Snapshot = ProgressReporter::Snapshot;
+
+TEST(ProgressFormat, BasicLine)
+{
+    Snapshot s;
+    s.completed = 12;
+    s.total = 294;
+    s.elapsedSeconds = 4.0;
+    s.instsDone = 8'000'000;
+    const std::string line = ProgressReporter::formatLine(s);
+    EXPECT_EQ(line,
+              "sweep 12/294 (4.1%) 3.0 runs/s 2.00 Minst/s ETA 94s");
+}
+
+TEST(ProgressFormat, NoEtaBeforeOneSecondElapsed)
+{
+    Snapshot s;
+    s.completed = 3;
+    s.total = 100;
+    s.elapsedSeconds = 0.001;   // first heartbeat: rate is garbage
+    const std::string line = ProgressReporter::formatLine(s);
+    EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
+}
+
+TEST(ProgressFormat, NoEtaWithZeroCompletedRuns)
+{
+    Snapshot s;
+    s.completed = 0;
+    s.total = 100;
+    s.elapsedSeconds = 30.0;
+    const std::string line = ProgressReporter::formatLine(s);
+    EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
+    EXPECT_NE(line.find("sweep 0/100"), std::string::npos) << line;
+}
+
+TEST(ProgressFormat, NoEtaOnceComplete)
+{
+    Snapshot s;
+    s.completed = 100;
+    s.total = 100;
+    s.elapsedSeconds = 12.0;
+    const std::string line = ProgressReporter::formatLine(s);
+    EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
+    EXPECT_NE(line.find("(100.0%)"), std::string::npos) << line;
+}
+
+TEST(ProgressFormat, ZeroElapsedNeverDivides)
+{
+    Snapshot s;
+    s.completed = 5;
+    s.total = 10;
+    s.elapsedSeconds = 0.0;
+    const std::string line = ProgressReporter::formatLine(s);
+    EXPECT_EQ(line, "sweep 5/10 (50.0%) 0.0 runs/s 0.00 Minst/s");
+}
+
+TEST(ProgressFormat, EmptyTotalIsSafe)
+{
+    Snapshot s;   // all zero
+    const std::string line = ProgressReporter::formatLine(s);
+    EXPECT_EQ(line, "sweep 0/0 (0.0%) 0.0 runs/s 0.00 Minst/s");
+}
+
+TEST(ProgressFormat, LaneWorkAppended)
+{
+    Snapshot s;
+    s.completed = 2;
+    s.total = 4;
+    s.elapsedSeconds = 2.0;
+    s.laneWork = {"int_sort x reuse", "", "fp_fir x baseline"};
+    const std::string line = ProgressReporter::formatLine(s);
+    EXPECT_NE(line.find(" | int_sort x reuse, fp_fir x baseline"),
+              std::string::npos)
+        << line;
+}
+
+} // namespace

@@ -79,6 +79,24 @@ TEST(DistributionPercentile, SingleSampleIsItself)
     EXPECT_DOUBLE_EQ(d.percentile(100), 42.0);
 }
 
+TEST(DistributionPercentile, OutOfRangePClampsToExtremes)
+{
+    Group g("g");
+    Distribution d(&g, "lat", "");
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_DOUBLE_EQ(d.percentile(-5), 10.0);
+    EXPECT_DOUBLE_EQ(d.percentile(250), 30.0);
+    // And the empty/one-sample pins hold for out-of-range p too.
+    Distribution e(&g, "lat2", "");
+    EXPECT_DOUBLE_EQ(e.percentile(-5), 0.0);
+    EXPECT_DOUBLE_EQ(e.percentile(250), 0.0);
+    e.sample(7);
+    EXPECT_DOUBLE_EQ(e.percentile(-5), 7.0);
+    EXPECT_DOUBLE_EQ(e.percentile(250), 7.0);
+}
+
 TEST(DistributionPercentile, InterpolatesBetweenSamples)
 {
     Group g("g");

@@ -228,6 +228,67 @@ TEST(SweepMatrixParse, ExpansionOrderIsWorkloadSizeScheme)
     }
 }
 
+TEST(SweepMatrixParse, SamplingBlock)
+{
+    const auto m = harness::parseSweepMatrix(R"({
+        "schemes": ["baseline"],
+        "rf_sizes": [64],
+        "sampling": {"warm": 1024, "detailed": 512, "period": 4096}
+    })");
+    EXPECT_TRUE(m.sampling.enabled());
+    EXPECT_EQ(m.sampling.warm, 1024u);
+    EXPECT_EQ(m.sampling.detailed, 512u);
+    EXPECT_EQ(m.sampling.period, 4096u);
+
+    // The block flows into every expanded RunConfig; its absence means
+    // exact simulation.
+    auto cfg = harness::matrixConfig(m.schemes[0], 64, m, 1000);
+    EXPECT_TRUE(cfg.sampling.enabled());
+    EXPECT_EQ(cfg.sampling.period, 4096u);
+    const auto exact = harness::parseSweepMatrix(
+        R"({"schemes": ["baseline"], "rf_sizes": [64]})");
+    EXPECT_FALSE(exact.sampling.enabled());
+    EXPECT_FALSE(
+        harness::matrixConfig(exact.schemes[0], 64, exact, 1000)
+            .sampling.enabled());
+}
+
+TEST(SweepMatrixErrors, SamplingBlockDiagnostics)
+{
+    const char *shell = R"({"schemes": ["baseline"], "rf_sizes": [64],
+                            "sampling": %s})";
+    auto probe = [&shell](const char *block) {
+        char doc[512];
+        std::snprintf(doc, sizeof(doc), shell, block);
+        SweepMatrix m;
+        std::string error;
+        EXPECT_FALSE(harness::tryParseSweepMatrix(doc, m, error));
+        return error;
+    };
+    EXPECT_NE(probe("7").find("must be an object"), std::string::npos);
+    EXPECT_NE(probe(R"({"detailed": 512, "period": 4096,
+                        "cadence": 1})")
+                  .find("unknown sampling key 'cadence'"),
+              std::string::npos);
+    EXPECT_NE(probe(R"({"detailed": 0, "period": 4096})")
+                  .find("positive integer"),
+              std::string::npos);
+    EXPECT_NE(probe(R"({"warm": -1, "detailed": 512, "period": 4096})")
+                  .find("non-negative integer"),
+              std::string::npos);
+    EXPECT_NE(probe(R"({"detailed": 512})")
+                  .find("positive 'detailed' and 'period'"),
+              std::string::npos);
+    EXPECT_NE(probe(R"({"warm": 4000, "detailed": 512,
+                        "period": 4096})")
+                  .find("'period' must cover warm + detailed"),
+              std::string::npos);
+    EXPECT_NE(probe(R"({"detailed": 512, "period": 4096,
+                        "period": 8192})")
+                  .find("duplicate key 'period' in the sampling block"),
+              std::string::npos);
+}
+
 TEST(SweepMatrixParse, LoadFromFile)
 {
     const std::string path =
