@@ -36,41 +36,10 @@ main(int argc, char **argv)
     const auto all = bench::matrixWorkloads(m);
     auto grid = bench::outcomeGrid(all, m);
 
-    for (const auto &suite : workloads::suiteNames()) {
-        // Under --suite / --workload filtering some suites may have no
-        // selected members; an unfiltered run always has rows here.
-        bool any = false;
-        for (const auto &w : all)
-            any = any || w.suite == suite;
-        if (!any)
-            continue;
-        std::vector<std::string> headers = {"workload"};
-        for (auto n : sizes)
-            headers.push_back(std::to_string(n));
-        stats::TextTable t(headers);
-
-        std::vector<std::vector<double>> perSize(sizes.size());
-        for (std::size_t wi = 0; wi < all.size(); ++wi) {
-            if (all[wi].suite != suite)
-                continue;
-            t.row().cell(all[wi].name);
-            for (std::size_t i = 0; i < sizes.size(); ++i) {
-                double s = grid[wi][i].speedup();
-                t.cell(s, 3);
-                perSize[i].push_back(s);
-            }
-        }
-        t.row().cell("GEOMEAN");
-        for (std::size_t i = 0; i < sizes.size(); ++i)
-            t.cell(harness::geomean(perSize[i]), 3);
-        t.print(std::cout, "Suite '" + suite +
-                               "': speedup (baseline cycles / proposed "
-                               "cycles) at equal area");
-        std::printf("\n");
-    }
-    std::printf("Shape checks: geomean speedups are highest at the "
-                "small end of the sweep and decay towards 1.0 at 96+ "
-                "registers, as in the paper's Figure 10.\n");
+    // The whole deterministic block — per-suite tables and shape-check
+    // note — comes from the shared renderer, so the campaign report's
+    // fig10 section is byte-identical to this bench's output.
+    std::cout << harness::renderFig10(all, sizes, grid);
     bench::finish("fig10_speedup");
     return 0;
 }

@@ -222,6 +222,73 @@ collectBenchResult(const std::string &bench, const SweepRunner &runner)
 }
 
 std::string
+renderRunRecordJson(const RunRecord &run)
+{
+    std::ostringstream os;
+    os << "{\"workload\": " << jsonStr(run.workload) << ", \"scheme\": "
+       << jsonStr(run.scheme) << ", \"insts\": " << run.insts
+       << ", \"cycles\": " << run.cycles << ", \"ipc\": "
+       << jsonNum(run.ipc()) << ", \"wall_seconds\": "
+       << jsonNum(run.wallSeconds);
+    if (run.sampled.enabled) {
+        const SampledSummary &sm = run.sampled;
+        os << ", \"sampled\": {\"windows\": " << sm.windows
+           << ", \"mean_ipc\": " << jsonNum(sm.meanIpc)
+           << ", \"stddev_ipc\": " << jsonNum(sm.stddevIpc)
+           << ", \"ci95_ipc\": " << jsonNum(sm.ci95Ipc)
+           << ", \"median_ipc\": " << jsonNum(sm.medianIpc)
+           << ", \"detailed_insts\": " << sm.detailedInsts
+           << ", \"detailed_cycles\": " << sm.detailedCycles
+           << ", \"warm_insts\": " << sm.warmInsts
+           << ", \"skipped_insts\": " << sm.skippedInsts << "}";
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+parseRunRecordJson(const obs::json::Value &e, RunRecord &run)
+{
+    if (const auto *f = e.find("workload"))
+        run.workload = f->str;
+    if (const auto *f = e.find("scheme"))
+        run.scheme = f->str;
+    if (const auto *f = e.find("insts"))
+        run.insts = asU64(*f);
+    if (const auto *f = e.find("cycles"))
+        run.cycles = asU64(*f);
+    if (const auto *f = e.find("wall_seconds"))
+        run.wallSeconds = f->num;
+    if (const auto *f = e.find("sampled")) {
+        run.sampled.enabled = true;
+        if (const auto *s = f->find("windows"))
+            run.sampled.windows = asU64(*s);
+        if (const auto *s = f->find("mean_ipc"))
+            run.sampled.meanIpc = s->num;
+        if (const auto *s = f->find("stddev_ipc"))
+            run.sampled.stddevIpc = s->num;
+        if (const auto *s = f->find("ci95_ipc"))
+            run.sampled.ci95Ipc = s->num;
+        if (const auto *s = f->find("median_ipc"))
+            run.sampled.medianIpc = s->num;
+        if (const auto *s = f->find("detailed_insts"))
+            run.sampled.detailedInsts = asU64(*s);
+        if (const auto *s = f->find("detailed_cycles"))
+            run.sampled.detailedCycles = asU64(*s);
+        if (const auto *s = f->find("warm_insts"))
+            run.sampled.warmInsts = asU64(*s);
+        if (const auto *s = f->find("skipped_insts"))
+            run.sampled.skippedInsts = asU64(*s);
+    }
+}
+
+bool
+sampledCiOverlap(const SampledSummary &a, const SampledSummary &b)
+{
+    return std::fabs(a.meanIpc - b.meanIpc) <= a.ci95Ipc + b.ci95Ipc;
+}
+
+std::string
 renderBenchJson(const BenchResult &r)
 {
     std::ostringstream os;
@@ -234,25 +301,8 @@ renderBenchJson(const BenchResult &r)
        << "  \"runs\": [";
     bool first = true;
     for (const auto &run : r.runs) {
-        os << (first ? "\n" : ",\n") << "    {\"workload\": "
-           << jsonStr(run.workload) << ", \"scheme\": "
-           << jsonStr(run.scheme) << ", \"insts\": " << run.insts
-           << ", \"cycles\": " << run.cycles << ", \"ipc\": "
-           << jsonNum(run.ipc()) << ", \"wall_seconds\": "
-           << jsonNum(run.wallSeconds);
-        if (run.sampled.enabled) {
-            const SampledSummary &sm = run.sampled;
-            os << ", \"sampled\": {\"windows\": " << sm.windows
-               << ", \"mean_ipc\": " << jsonNum(sm.meanIpc)
-               << ", \"stddev_ipc\": " << jsonNum(sm.stddevIpc)
-               << ", \"ci95_ipc\": " << jsonNum(sm.ci95Ipc)
-               << ", \"median_ipc\": " << jsonNum(sm.medianIpc)
-               << ", \"detailed_insts\": " << sm.detailedInsts
-               << ", \"detailed_cycles\": " << sm.detailedCycles
-               << ", \"warm_insts\": " << sm.warmInsts
-               << ", \"skipped_insts\": " << sm.skippedInsts << "}";
-        }
-        os << "}";
+        os << (first ? "\n" : ",\n") << "    "
+           << renderRunRecordJson(run);
         first = false;
     }
     os << (first ? "" : "\n  ") << "],\n"
@@ -333,37 +383,7 @@ loadBenchJson(const std::string &path, BenchResult &out,
     if (const auto *v = doc.find("runs")) {
         for (const auto &e : v->arr) {
             RunRecord run;
-            if (const auto *f = e.find("workload"))
-                run.workload = f->str;
-            if (const auto *f = e.find("scheme"))
-                run.scheme = f->str;
-            if (const auto *f = e.find("insts"))
-                run.insts = asU64(*f);
-            if (const auto *f = e.find("cycles"))
-                run.cycles = asU64(*f);
-            if (const auto *f = e.find("wall_seconds"))
-                run.wallSeconds = f->num;
-            if (const auto *f = e.find("sampled")) {
-                run.sampled.enabled = true;
-                if (const auto *s = f->find("windows"))
-                    run.sampled.windows = asU64(*s);
-                if (const auto *s = f->find("mean_ipc"))
-                    run.sampled.meanIpc = s->num;
-                if (const auto *s = f->find("stddev_ipc"))
-                    run.sampled.stddevIpc = s->num;
-                if (const auto *s = f->find("ci95_ipc"))
-                    run.sampled.ci95Ipc = s->num;
-                if (const auto *s = f->find("median_ipc"))
-                    run.sampled.medianIpc = s->num;
-                if (const auto *s = f->find("detailed_insts"))
-                    run.sampled.detailedInsts = asU64(*s);
-                if (const auto *s = f->find("detailed_cycles"))
-                    run.sampled.detailedCycles = asU64(*s);
-                if (const auto *s = f->find("warm_insts"))
-                    run.sampled.warmInsts = asU64(*s);
-                if (const auto *s = f->find("skipped_insts"))
-                    run.sampled.skippedInsts = asU64(*s);
-            }
+            parseRunRecordJson(e, run);
             out.runs.push_back(std::move(run));
         }
     }
@@ -414,165 +434,263 @@ loadBenchJson(const std::string &path, BenchResult &out,
     return true;
 }
 
-int
-diffBenchResults(const BenchResult &base, const BenchResult &cur,
-                 const BenchDiffOptions &opts, std::ostream &os)
+BenchDiffReport
+collectBenchDiff(const BenchResult &base, const BenchResult &cur,
+                 const BenchDiffOptions &opts)
 {
-    os << "benchdiff: " << cur.bench << " (baseline " << base.gitSha
-       << "/" << base.buildType << " vs current " << cur.gitSha << "/"
-       << cur.buildType << ")\n";
+    BenchDiffReport r;
+    r.bench = cur.bench;
+    r.baseSha = base.gitSha;
+    r.curSha = cur.gitSha;
+    r.baseBuild = base.buildType;
+    r.curBuild = cur.buildType;
+    r.baseSchema = base.schemaVersion;
+    r.curSchema = cur.schemaVersion;
     if (base.schemaVersion != cur.schemaVersion) {
-        os << "error: schema version mismatch (baseline v"
-           << base.schemaVersion << ", current v" << cur.schemaVersion
-           << "); regenerate the baseline\n";
-        return 2;
+        r.schemaMismatch = true;
+        r.exitCode = 2;
+        return r;
     }
 
     // Exact pass: the run lists must match row for row.
-    std::vector<DiffRow> drift;
+    r.baseRuns = base.runs.size();
+    r.curRuns = cur.runs.size();
     if (base.runs.size() != cur.runs.size()) {
-        os << "EXACT DRIFT: run count " << base.runs.size() << " -> "
-           << cur.runs.size()
-           << " (sweep shape changed; regenerate the baseline if "
-              "intentional)\n";
-        return 1;
+        r.runCountMismatch = true;
+        r.exitCode = 1;
+        return r;
     }
     for (std::size_t i = 0; i < base.runs.size(); ++i) {
         const RunRecord &b = base.runs[i];
         const RunRecord &c = cur.runs[i];
         if (b.workload != c.workload || b.scheme != c.scheme) {
-            drift.push_back({b.workload + "->" + c.workload,
-                             b.scheme + "->" + c.scheme, "row",
-                             "run " + std::to_string(i), "", "reordered"});
+            r.exactDrift.push_back(
+                {b.workload + "->" + c.workload,
+                 b.scheme + "->" + c.scheme, "row",
+                 "run " + std::to_string(i), "", "reordered"});
             continue;
         }
         if (b.sampled.enabled || c.sampled.enabled) {
             // Sampled rows are estimates, not bit-exact results: gate
             // on 95% CI overlap of the mean IPC instead of equality.
             if (b.sampled.enabled != c.sampled.enabled) {
-                drift.push_back({b.workload, b.scheme, "sampled",
-                                 b.sampled.enabled ? "yes" : "no",
-                                 c.sampled.enabled ? "yes" : "no",
-                                 "mode changed"});
+                r.exactDrift.push_back({b.workload, b.scheme, "sampled",
+                                        b.sampled.enabled ? "yes" : "no",
+                                        c.sampled.enabled ? "yes" : "no",
+                                        "mode changed"});
                 continue;
             }
-            const double gap =
-                std::fabs(b.sampled.meanIpc - c.sampled.meanIpc);
-            const double ciSum = b.sampled.ci95Ipc + c.sampled.ci95Ipc;
-            if (gap > ciSum) {
+            if (!sampledCiOverlap(b.sampled, c.sampled)) {
+                const double ciSum =
+                    b.sampled.ci95Ipc + c.sampled.ci95Ipc;
                 char d[64];
                 std::snprintf(d, sizeof(d), "%+.4f%% > CI %s",
                               pctDelta(b.sampled.meanIpc,
                                        c.sampled.meanIpc),
                               sigFig(ciSum, 3).c_str());
-                drift.push_back({b.workload, b.scheme, "mean_ipc",
-                                 sigFig(b.sampled.meanIpc, 6),
-                                 sigFig(c.sampled.meanIpc, 6), d});
+                r.exactDrift.push_back({b.workload, b.scheme, "mean_ipc",
+                                        sigFig(b.sampled.meanIpc, 6),
+                                        sigFig(c.sampled.meanIpc, 6),
+                                        d});
             }
             continue;
         }
         if (b.insts != c.insts) {
-            drift.push_back({b.workload, b.scheme, "insts",
-                             u64Str(b.insts), u64Str(c.insts),
-                             signedDelta(b.insts, c.insts)});
+            r.exactDrift.push_back({b.workload, b.scheme, "insts",
+                                    u64Str(b.insts), u64Str(c.insts),
+                                    signedDelta(b.insts, c.insts)});
         }
         if (b.cycles != c.cycles) {
             char ipc[48];
             std::snprintf(ipc, sizeof(ipc), "%+.4f%% IPC",
                           pctDelta(b.ipc(), c.ipc()));
-            drift.push_back({b.workload, b.scheme, "cycles",
-                             u64Str(b.cycles), u64Str(c.cycles),
-                             signedDelta(b.cycles, c.cycles)});
-            drift.push_back({b.workload, b.scheme, "ipc",
-                             sigFig(b.ipc(), 6), sigFig(c.ipc(), 6),
-                             ipc});
+            r.exactDrift.push_back({b.workload, b.scheme, "cycles",
+                                    u64Str(b.cycles), u64Str(c.cycles),
+                                    signedDelta(b.cycles, c.cycles)});
+            r.exactDrift.push_back({b.workload, b.scheme, "ipc",
+                                    sigFig(b.ipc(), 6),
+                                    sigFig(c.ipc(), 6), ipc});
         }
     }
     if (base.traceHits != cur.traceHits ||
         base.traceMisses != cur.traceMisses) {
-        drift.push_back({"(trace cache)", "-", "hit/miss",
-                         u64Str(base.traceHits) + "/" +
-                             u64Str(base.traceMisses),
-                         u64Str(cur.traceHits) + "/" +
-                             u64Str(cur.traceMisses),
-                         ""});
+        r.exactDrift.push_back({"(trace cache)", "-", "hit/miss",
+                                u64Str(base.traceHits) + "/" +
+                                    u64Str(base.traceMisses),
+                                u64Str(cur.traceHits) + "/" +
+                                    u64Str(cur.traceMisses),
+                                ""});
     }
-
-    int exitCode = 0;
-    if (!drift.empty()) {
-        os << "EXACT DRIFT in " << drift.size()
-           << " metric(s) — deterministic simulation results changed:\n";
-        printDiffTable(os, drift, opts.markdown);
-        exitCode = 1;
-    } else {
-        os << "exact metrics: OK (" << cur.runs.size()
-           << " runs, insts/cycles/trace-cache identical)\n";
-    }
+    if (!r.exactDrift.empty())
+        r.exitCode = 1;
 
     // Noisy pass: throughput numbers drift with the host; warn unless
     // a threshold is configured.
-    struct Noisy
-    {
-        const char *name;
-        double base, cur;
+    const bool gate = opts.throughputThresholdPct >= 0;
+    const std::pair<const char *, std::pair<double, double>> noisy[] = {
+        {"wall_seconds", {base.wallSeconds, cur.wallSeconds}},
+        {"runs_per_sec", {base.runsPerSec, cur.runsPerSec}},
+        {"minst_per_sec", {base.minstPerSec, cur.minstPerSec}},
     };
-    const Noisy noisy[] = {
-        {"wall_seconds", base.wallSeconds, cur.wallSeconds},
-        {"runs_per_sec", base.runsPerSec, cur.runsPerSec},
-        {"minst_per_sec", base.minstPerSec, cur.minstPerSec},
+    for (const auto &[name, vals] : noisy) {
+        BenchDiffReport::NoisyRow row;
+        row.name = name;
+        row.base = vals.first;
+        row.cur = vals.second;
+        row.deltaPct = pctDelta(vals.first, vals.second);
+        row.regression =
+            gate && std::fabs(row.deltaPct) > opts.throughputThresholdPct;
+        if (row.regression && r.exitCode == 0)
+            r.exitCode = 1;
+        r.noisy.push_back(std::move(row));
+    }
+
+    // Phase-profile pass: host wall clock per phase, so always
+    // warn-only.  Rows pair up by path; a phase present on only one
+    // side is still shown (profiling config changed, or the code path
+    // moved).
+    auto slot = [&r](const std::string &path)
+        -> BenchDiffReport::PhasePair & {
+        for (auto &p : r.phases) {
+            if (p.path == path)
+                return p;
+        }
+        r.phases.push_back({path, -1, -1, -1, -1});
+        return r.phases.back();
     };
+    for (const auto &ph : base.phases) {
+        auto &p = slot(ph.path);
+        p.baseSeconds = ph.seconds;
+        p.baseP95Us = ph.p95Us;
+    }
+    for (const auto &ph : cur.phases) {
+        auto &p = slot(ph.path);
+        p.curSeconds = ph.seconds;
+        p.curP95Us = ph.p95Us;
+    }
+    return r;
+}
+
+std::string
+renderBenchDiffJson(const BenchDiffReport &r)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"bench\": " << jsonStr(r.bench) << ",\n"
+       << "  \"baseline\": {\"git_sha\": " << jsonStr(r.baseSha)
+       << ", \"build_type\": " << jsonStr(r.baseBuild)
+       << ", \"schema_version\": " << r.baseSchema << ", \"runs\": "
+       << r.baseRuns << "},\n"
+       << "  \"current\": {\"git_sha\": " << jsonStr(r.curSha)
+       << ", \"build_type\": " << jsonStr(r.curBuild)
+       << ", \"schema_version\": " << r.curSchema << ", \"runs\": "
+       << r.curRuns << "},\n"
+       << "  \"verdict\": " << jsonStr(r.verdict()) << ",\n"
+       << "  \"exit_code\": " << r.exitCode << ",\n"
+       << "  \"schema_mismatch\": "
+       << (r.schemaMismatch ? "true" : "false") << ",\n"
+       << "  \"run_count_mismatch\": "
+       << (r.runCountMismatch ? "true" : "false") << ",\n"
+       << "  \"exact_drift\": [";
+    bool first = true;
+    for (const auto &d : r.exactDrift) {
+        os << (first ? "\n" : ",\n") << "    {\"workload\": "
+           << jsonStr(d.workload) << ", \"scheme\": " << jsonStr(d.scheme)
+           << ", \"metric\": " << jsonStr(d.metric) << ", \"baseline\": "
+           << jsonStr(d.baseVal) << ", \"current\": " << jsonStr(d.curVal)
+           << ", \"delta\": " << jsonStr(d.delta) << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n"
+       << "  \"noisy\": [";
+    first = true;
+    for (const auto &n : r.noisy) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": "
+           << jsonStr(n.name) << ", \"baseline\": " << jsonNum(n.base)
+           << ", \"current\": " << jsonNum(n.cur) << ", \"delta_pct\": "
+           << jsonNum(n.deltaPct) << ", \"regression\": "
+           << (n.regression ? "true" : "false") << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n"
+       << "  \"phases\": [";
+    first = true;
+    for (const auto &p : r.phases) {
+        os << (first ? "\n" : ",\n") << "    {\"path\": "
+           << jsonStr(p.path) << ", \"base_seconds\": "
+           << (p.baseSeconds < 0 ? "null" : jsonNum(p.baseSeconds))
+           << ", \"cur_seconds\": "
+           << (p.curSeconds < 0 ? "null" : jsonNum(p.curSeconds))
+           << ", \"base_p95_us\": "
+           << (p.baseP95Us < 0 ? "null" : jsonNum(p.baseP95Us))
+           << ", \"cur_p95_us\": "
+           << (p.curP95Us < 0 ? "null" : jsonNum(p.curP95Us)) << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n"
+       << "}\n";
+    return os.str();
+}
+
+int
+diffBenchResults(const BenchResult &base, const BenchResult &cur,
+                 const BenchDiffOptions &opts, std::ostream &os)
+{
+    const BenchDiffReport r = collectBenchDiff(base, cur, opts);
+
+    os << "benchdiff: " << cur.bench << " (baseline " << base.gitSha
+       << "/" << base.buildType << " vs current " << cur.gitSha << "/"
+       << cur.buildType << ")\n";
+    if (r.schemaMismatch) {
+        os << "error: schema version mismatch (baseline v"
+           << r.baseSchema << ", current v" << r.curSchema
+           << "); regenerate the baseline\n";
+        return r.exitCode;
+    }
+    if (r.runCountMismatch) {
+        os << "EXACT DRIFT: run count " << r.baseRuns << " -> "
+           << r.curRuns
+           << " (sweep shape changed; regenerate the baseline if "
+              "intentional)\n";
+        return r.exitCode;
+    }
+
+    if (!r.exactDrift.empty()) {
+        os << "EXACT DRIFT in " << r.exactDrift.size()
+           << " metric(s) — deterministic simulation results changed:\n";
+        std::vector<DiffRow> rows;
+        for (const auto &d : r.exactDrift)
+            rows.push_back({d.workload, d.scheme, d.metric, d.baseVal,
+                            d.curVal, d.delta});
+        printDiffTable(os, rows, opts.markdown);
+    } else {
+        os << "exact metrics: OK (" << r.curRuns
+           << " runs, insts/cycles/trace-cache identical)\n";
+    }
+
     const bool gate = opts.throughputThresholdPct >= 0;
     os << "noisy metrics ("
        << (gate ? "threshold " +
                       jsonNum(opts.throughputThresholdPct) + "%"
                 : std::string("warn-only"))
        << "):\n";
-    for (const auto &n : noisy) {
-        const double d = pctDelta(n.base, n.cur);
+    for (const auto &n : r.noisy) {
         char buf[160];
         std::snprintf(buf, sizeof(buf), "  %-14s %12.3f -> %12.3f  "
-                      "(%+.1f%%)%s\n", n.name, n.base, n.cur, d,
-                      gate && std::fabs(d) > opts.throughputThresholdPct
-                          ? "  REGRESSION"
-                          : "");
+                      "(%+.1f%%)%s\n", n.name.c_str(), n.base, n.cur,
+                      n.deltaPct, n.regression ? "  REGRESSION" : "");
         os << buf;
-        if (gate && std::fabs(d) > opts.throughputThresholdPct)
-            exitCode = exitCode == 0 ? 1 : exitCode;
     }
 
-    // Phase-profile pass: host wall clock per phase, so always
-    // warn-only.  Rows pair up by path; a phase present on only one
-    // side is still shown (profiling config changed, or the code path
-    // moved) with "-" standing in for the missing side.
-    if (!base.phases.empty() || !cur.phases.empty()) {
-        struct PhasePair
-        {
-            std::string path;
-            const BenchResult::PhaseRow *b = nullptr;
-            const BenchResult::PhaseRow *c = nullptr;
+    if (!r.phases.empty()) {
+        auto secs = [](double s) {
+            return s < 0 ? std::string("-") : sigFig(s, 4);
         };
-        std::vector<PhasePair> pairs;
-        auto slot = [&pairs](const std::string &path) -> PhasePair & {
-            for (auto &p : pairs) {
-                if (p.path == path)
-                    return p;
-            }
-            pairs.push_back({path, nullptr, nullptr});
-            return pairs.back();
-        };
-        for (const auto &ph : base.phases)
-            slot(ph.path).b = &ph;
-        for (const auto &ph : cur.phases)
-            slot(ph.path).c = &ph;
-
-        auto secs = [](const BenchResult::PhaseRow *r) {
-            return r ? sigFig(r->seconds, 4) : std::string("-");
-        };
-        auto p95 = [](const BenchResult::PhaseRow *r) {
+        auto p95 = [](double us) {
             char buf[32];
-            if (!r)
+            if (us < 0)
                 return std::string("-");
-            std::snprintf(buf, sizeof(buf), "%.0f", r->p95Us);
+            std::snprintf(buf, sizeof(buf), "%.0f", us);
             return std::string(buf);
         };
         os << "phase profile (host wall clock, warn-only):\n";
@@ -588,34 +706,37 @@ diffBenchResults(const BenchResult &base, const BenchResult &cur,
                           "cur_p95_us");
             os << buf;
         }
-        for (const auto &p : pairs) {
+        for (const auto &p : r.phases) {
             std::string delta = "-";
-            if (p.b && p.c && p.b->seconds > 0) {
+            if (p.baseSeconds >= 0 && p.curSeconds >= 0 &&
+                p.baseSeconds > 0) {
                 char buf[32];
                 std::snprintf(buf, sizeof(buf), "%+.1f%%",
-                              pctDelta(p.b->seconds, p.c->seconds));
+                              pctDelta(p.baseSeconds, p.curSeconds));
                 delta = buf;
-            } else if (!p.b) {
+            } else if (p.baseSeconds < 0) {
                 delta = "new";
-            } else if (!p.c) {
+            } else if (p.curSeconds < 0) {
                 delta = "gone";
             }
             if (opts.markdown) {
-                os << "| " << p.path << " | " << secs(p.b) << " | "
-                   << secs(p.c) << " | " << delta << " | " << p95(p.b)
-                   << " | " << p95(p.c) << " |\n";
+                os << "| " << p.path << " | " << secs(p.baseSeconds)
+                   << " | " << secs(p.curSeconds) << " | " << delta
+                   << " | " << p95(p.baseP95Us) << " | "
+                   << p95(p.curP95Us) << " |\n";
             } else {
                 char buf[256];
                 std::snprintf(buf, sizeof(buf),
                               "  %-24s %10s %10s %9s %12s %12s\n",
-                              p.path.c_str(), secs(p.b).c_str(),
-                              secs(p.c).c_str(), delta.c_str(),
-                              p95(p.b).c_str(), p95(p.c).c_str());
+                              p.path.c_str(), secs(p.baseSeconds).c_str(),
+                              secs(p.curSeconds).c_str(), delta.c_str(),
+                              p95(p.baseP95Us).c_str(),
+                              p95(p.curP95Us).c_str());
                 os << buf;
             }
         }
     }
-    return exitCode;
+    return r.exitCode;
 }
 
 } // namespace rrs::harness

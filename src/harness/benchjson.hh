@@ -34,6 +34,10 @@
 
 #include "harness/sweep.hh"
 
+namespace rrs::obs::json {
+class Value;
+}
+
 namespace rrs::harness {
 
 /**
@@ -110,6 +114,25 @@ BenchResult collectBenchResult(const std::string &bench,
 /** Render as the versioned JSON document. */
 std::string renderBenchJson(const BenchResult &r);
 
+/**
+ * Render one run row exactly as it appears in a BENCH_*.json "runs"
+ * array (the schema-v2 row object, including the "sampled" block for
+ * sampled runs).  The experiment ledger (harness/ledger.hh) embeds
+ * this same object per node, so the two formats can never diverge.
+ */
+std::string renderRunRecordJson(const RunRecord &run);
+
+/** Parse a schema-v2 run row (a "runs" element / a ledger "run"). */
+void parseRunRecordJson(const obs::json::Value &e, RunRecord &run);
+
+/**
+ * The sampled gating rule rrs-benchdiff and the ledger drift section
+ * share: two sampled estimates agree when |mean_a - mean_b| does not
+ * exceed the sum of their reported 95% CIs.  Anything further apart is
+ * an estimator or schedule change, not window-boundary noise.
+ */
+bool sampledCiOverlap(const SampledSummary &a, const SampledSummary &b);
+
 /** The file name a bench writes: "BENCH_<bench>.json". */
 std::string benchJsonFileName(const std::string &bench);
 
@@ -139,6 +162,72 @@ struct BenchDiffOptions
  */
 int diffBenchResults(const BenchResult &base, const BenchResult &cur,
                      const BenchDiffOptions &opts, std::ostream &os);
+
+/**
+ * The structured form of a benchdiff: the same verdicts text mode
+ * prints, as data.  `rrs-benchdiff --json` renders it so scripts and
+ * the campaign report embed results instead of scraping tables.
+ */
+struct BenchDiffReport
+{
+    std::string bench;
+    std::string baseSha, curSha;
+    std::string baseBuild, curBuild;
+    int baseSchema = 0, curSchema = 0;
+    bool schemaMismatch = false;
+
+    bool runCountMismatch = false;
+    std::size_t baseRuns = 0, curRuns = 0;
+
+    /** One exact-metric drift finding (empty list = exact OK). */
+    struct DriftRow
+    {
+        std::string workload;
+        std::string scheme;
+        std::string metric;     //!< "insts"/"cycles"/"ipc"/"mean_ipc"/...
+        std::string baseVal, curVal;
+        std::string delta;
+    };
+    std::vector<DriftRow> exactDrift;
+
+    /** Host-noise metrics, always reported, gated only on request. */
+    struct NoisyRow
+    {
+        std::string name;
+        double base = 0, cur = 0;
+        double deltaPct = 0;
+        bool regression = false;   //!< past the configured threshold
+    };
+    std::vector<NoisyRow> noisy;
+
+    /** Phase-profile pairs (host wall clock, warn-only).  Negative
+     *  seconds mean the side lacks the phase. */
+    struct PhasePair
+    {
+        std::string path;
+        double baseSeconds = -1, curSeconds = -1;
+        double baseP95Us = -1, curP95Us = -1;
+    };
+    std::vector<PhasePair> phases;
+
+    int exitCode = 0;   //!< same 0/1/2 contract as diffBenchResults()
+
+    const char *
+    verdict() const
+    {
+        if (schemaMismatch)
+            return "schema-mismatch";
+        return exitCode == 0 ? "clean" : "drift";
+    }
+};
+
+/** Compute the diff without rendering (the data behind both modes). */
+BenchDiffReport collectBenchDiff(const BenchResult &base,
+                                 const BenchResult &cur,
+                                 const BenchDiffOptions &opts);
+
+/** Render a diff report as a machine-readable JSON document. */
+std::string renderBenchDiffJson(const BenchDiffReport &r);
 
 } // namespace rrs::harness
 

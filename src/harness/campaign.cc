@@ -1,0 +1,471 @@
+#include "campaign.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomicfile.hh"
+#include "common/logging.hh"
+#include "harness/benchjson.hh"
+#include "obs/jsonlite.hh"
+#include "stats/stats.hh"
+
+namespace rrs::harness {
+
+namespace {
+
+using obs::json::Value;
+
+/**
+ * Per-run timing length when neither the manifest nor a matrix sets
+ * one: the same 150k-instruction default the bench binaries use
+ * (bench::timingInsts), so a manifest with no "cap" reproduces the
+ * published tables.
+ */
+constexpr std::uint64_t defaultCampaignCap = 150'000;
+
+bool
+checkNoDuplicateKeys(const Value &obj, const std::string &where,
+                     std::string &error)
+{
+    if (!checkNoDuplicateJsonKeys(obj, where, error)) {
+        error = "campaign manifest: " + error;
+        return false;
+    }
+    return true;
+}
+
+bool
+parseKind(const std::string &s, CampaignFigure::Kind &out)
+{
+    if (s == "fig10")
+        out = CampaignFigure::Kind::Fig10;
+    else if (s == "fig11")
+        out = CampaignFigure::Kind::Fig11;
+    else if (s == "table3")
+        out = CampaignFigure::Kind::Table3;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseFigure(const Value &v, CampaignFigure &fig, std::string &error)
+{
+    if (!v.isObject()) {
+        error = "campaign manifest: each figure must be an object";
+        return false;
+    }
+    if (!checkNoDuplicateKeys(v, "a figure entry", error))
+        return false;
+    const Value *name = v.find("figure");
+    if (!name || !name->isString() || name->str.empty()) {
+        error = "campaign manifest: figure entries need a non-empty "
+                "string 'figure' member";
+        return false;
+    }
+    fig.name = name->str;
+    const std::string where = "figure '" + fig.name + "'";
+
+    bool sawKind = false, sawMatrix = false, sawSizes = false;
+    for (const auto &[key, val] : v.members) {
+        if (key == "figure") {
+            continue;
+        } else if (key == "kind") {
+            sawKind = true;
+            if (!val.isString() || !parseKind(val.str, fig.kind)) {
+                error = "campaign manifest: " + where + ": 'kind' must "
+                        "be one of fig10/fig11/table3";
+                return false;
+            }
+        } else if (key == "matrix") {
+            sawMatrix = true;
+            if (!tryParseSweepMatrix(val, fig.matrix, error)) {
+                error = "campaign manifest: " + where + ": " + error;
+                return false;
+            }
+        } else if (key == "sizes") {
+            sawSizes = true;
+            if (!val.isArray() || val.arr.empty()) {
+                error = "campaign manifest: " + where + ": 'sizes' "
+                        "must be a non-empty array";
+                return false;
+            }
+            for (const auto &entry : val.arr) {
+                if (!entry.isNumber() || entry.num <= 0 ||
+                    entry.num != std::floor(entry.num)) {
+                    error = "campaign manifest: " + where + ": 'sizes' "
+                            "entries must be positive integers";
+                    return false;
+                }
+                fig.sizes.push_back(
+                    static_cast<std::uint32_t>(entry.num));
+            }
+        } else {
+            error = "campaign manifest: " + where + ": unknown key '" +
+                    key + "' (expected figure/kind/matrix/sizes)";
+            return false;
+        }
+    }
+    if (!sawKind) {
+        error = "campaign manifest: " + where + " needs a 'kind' member";
+        return false;
+    }
+    if (fig.kind == CampaignFigure::Kind::Table3) {
+        if (!sawSizes || sawMatrix) {
+            error = "campaign manifest: " + where + ": table3 figures "
+                    "take 'sizes', not a 'matrix'";
+            return false;
+        }
+        return true;
+    }
+    if (!sawMatrix || sawSizes) {
+        error = "campaign manifest: " + where + ": " +
+                campaignKindName(fig.kind) +
+                " figures take a 'matrix', not 'sizes'";
+        return false;
+    }
+    if (fig.matrix.schemes.size() != 2) {
+        error = "campaign manifest: " + where + ": " +
+                campaignKindName(fig.kind) + " needs exactly two scheme "
+                "columns (base, proposed); the matrix has " +
+                std::to_string(fig.matrix.schemes.size());
+        return false;
+    }
+    if (!fig.matrix.suite.empty()) {
+        bool known = false;
+        for (const auto &s : workloads::suiteNames())
+            known = known || s == fig.matrix.suite;
+        if (!known) {
+            error = "campaign manifest: " + where + ": unknown suite '" +
+                    fig.matrix.suite + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    return stats::jsonQuoted(s);
+}
+
+/** Render the campaign.json sidecar. */
+std::string
+renderCampaignJson(const CampaignManifest &m, const CampaignPlan &plan,
+                   const CampaignResult &result, unsigned threads,
+                   double wallSeconds,
+                   const std::vector<BenchResult::PhaseRow> &phases)
+{
+    std::ostringstream os;
+    char wall[40];
+    std::snprintf(wall, sizeof(wall), "%.17g", wallSeconds);
+    auto jnum = [](double v) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return std::string(buf);
+    };
+    os << "{\n"
+       << "  \"campaign_schema\": " << campaignSchemaVersion << ",\n"
+       << "  \"name\": " << jsonStr(m.name) << ",\n"
+       << "  \"git_sha\": " << jsonStr(currentGitSha()) << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"wall_seconds\": " << wall << ",\n"
+       << "  \"nodes_total\": " << result.totalNodes << ",\n"
+       << "  \"nodes_cached\": " << result.hits << ",\n"
+       << "  \"nodes_simulated\": " << result.simulated << ",\n"
+       << "  \"nodes_deferred\": " << result.remaining << ",\n"
+       << "  \"phases\": [";
+    bool firstPhase = true;
+    for (const auto &ph : phases) {
+        os << (firstPhase ? "\n" : ",\n") << "    {\"path\": "
+           << jsonStr(ph.path) << ", \"count\": " << ph.count
+           << ", \"seconds\": " << jnum(ph.seconds) << ", \"p50_us\": "
+           << jnum(ph.p50Us) << ", \"p95_us\": " << jnum(ph.p95Us)
+           << ", \"max_us\": " << jnum(ph.maxUs) << "}";
+        firstPhase = false;
+    }
+    os << (firstPhase ? "" : "\n  ") << "],\n"
+       << "  \"figures\": [";
+    bool firstFig = true;
+    for (const auto &fp : plan.figures) {
+        os << (firstFig ? "\n" : ",\n") << "    {\n"
+           << "      \"figure\": " << jsonStr(fp.figure->name) << ",\n"
+           << "      \"kind\": "
+           << jsonStr(campaignKindName(fp.figure->kind)) << ",\n"
+           << "      \"sizes\": [";
+        for (std::size_t i = 0; i < fp.sizes.size(); ++i)
+            os << (i ? ", " : "") << fp.sizes[i];
+        os << "],\n"
+           << "      \"scheme_labels\": [";
+        for (std::size_t i = 0; i < fp.schemeLabels.size(); ++i)
+            os << (i ? ", " : "") << jsonStr(fp.schemeLabels[i]);
+        os << "],\n"
+           << "      \"workloads\": [";
+        for (std::size_t i = 0; i < fp.workloads.size(); ++i) {
+            os << (i ? ", " : "") << "{\"name\": "
+               << jsonStr(fp.workloads[i].first) << ", \"suite\": "
+               << jsonStr(fp.workloads[i].second) << "}";
+        }
+        os << "],\n"
+           << "      \"nodes\": [";
+        for (std::size_t i = 0; i < fp.digests.size(); ++i)
+            os << (i ? ", " : "") << jsonStr(fp.digests[i]);
+        os << "]\n    }";
+        firstFig = false;
+    }
+    os << (firstFig ? "" : "\n  ") << "]\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace
+
+const char *
+campaignKindName(CampaignFigure::Kind kind)
+{
+    switch (kind) {
+    case CampaignFigure::Kind::Fig10: return "fig10";
+    case CampaignFigure::Kind::Fig11: return "fig11";
+    case CampaignFigure::Kind::Table3: return "table3";
+    }
+    return "?";
+}
+
+bool
+tryParseCampaignManifest(const std::string &text, CampaignManifest &out,
+                         std::string &error)
+{
+    Value root;
+    std::string jsonError;
+    if (!obs::json::parse(text, root, &jsonError)) {
+        error = "campaign manifest: " + jsonError;
+        return false;
+    }
+    if (!root.isObject()) {
+        error = "campaign manifest: the document root must be an object";
+        return false;
+    }
+    if (!checkNoDuplicateKeys(root, "the manifest", error))
+        return false;
+
+    CampaignManifest m;
+    bool sawFigures = false;
+    for (const auto &[key, val] : root.members) {
+        if (key == "name") {
+            if (!val.isString() || val.str.empty()) {
+                error = "campaign manifest: 'name' must be a non-empty "
+                        "string";
+                return false;
+            }
+            m.name = val.str;
+        } else if (key == "cap") {
+            if (!val.isNumber() || val.num <= 0 ||
+                val.num != std::floor(val.num)) {
+                error = "campaign manifest: 'cap' must be a positive "
+                        "integer";
+                return false;
+            }
+            m.cap = static_cast<std::uint64_t>(val.num);
+        } else if (key == "figures") {
+            sawFigures = true;
+            if (!val.isArray()) {
+                error = "campaign manifest: 'figures' must be an array";
+                return false;
+            }
+            for (const auto &entry : val.arr) {
+                CampaignFigure fig;
+                if (!parseFigure(entry, fig, error))
+                    return false;
+                for (const auto &prev : m.figures) {
+                    if (prev.name == fig.name) {
+                        error = "campaign manifest: duplicate figure "
+                                "name '" + fig.name + "'";
+                        return false;
+                    }
+                }
+                m.figures.push_back(std::move(fig));
+            }
+        } else {
+            error = "campaign manifest: unknown key '" + key +
+                    "' (expected name/cap/figures)";
+            return false;
+        }
+    }
+    if (m.name.empty()) {
+        error = "campaign manifest: 'name' must be a non-empty string";
+        return false;
+    }
+    if (!sawFigures || m.figures.empty()) {
+        error = "campaign manifest: 'figures' must be a non-empty array";
+        return false;
+    }
+    out = std::move(m);
+    return true;
+}
+
+CampaignManifest
+loadCampaignManifestFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        rrs_fatal("cannot open campaign manifest '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    CampaignManifest m;
+    std::string error;
+    if (!tryParseCampaignManifest(text.str(), m, error))
+        rrs_fatal("%s: %s", path.c_str(), error.c_str());
+    return m;
+}
+
+CampaignPlan
+planCampaign(const CampaignManifest &manifest,
+             const CampaignOptions &opts)
+{
+    CampaignPlan plan;
+    const std::uint64_t capDefault =
+        manifest.cap ? manifest.cap : defaultCampaignCap;
+    for (const auto &fig : manifest.figures) {
+        CampaignPlan::FigurePlan fp;
+        fp.figure = &fig;
+        if (fig.kind == CampaignFigure::Kind::Table3) {
+            fp.sizes = fig.sizes;
+            plan.figures.push_back(std::move(fp));
+            continue;
+        }
+
+        SweepMatrix m = fig.matrix;
+        if (opts.capOverride)
+            m.cap = opts.capOverride;
+        fp.sizes = m.rfSizes;
+        for (const auto &spec : m.schemes)
+            fp.schemeLabels.push_back(spec.label);
+
+        // Campaigns run the manifest's declared set, never the bench
+        // CLI filters; the matrix's own suite member is the only knob.
+        const std::vector<workloads::Workload> ws =
+            m.suite.empty() ? workloads::allWorkloads()
+                            : workloads::suiteWorkloads(m.suite);
+
+        // Same expansion order as expandSweepMatrix — workloads
+        // outermost, then sizes, then scheme columns — and the seed of
+        // cell k is pinned to k, so the same matrix always yields the
+        // same digests no matter which figures share it or which nodes
+        // were already present.
+        std::size_t k = 0;
+        for (const auto &wl : ws) {
+            // The canonical registry entry outlives every plan; the
+            // local `ws` copy does not, and items hold a pointer.
+            const workloads::Workload &w = workloads::workload(wl.name);
+            fp.workloads.emplace_back(w.name, w.suite);
+            for (std::uint32_t n : m.rfSizes) {
+                for (const auto &scheme : m.schemes) {
+                    RunConfig cfg =
+                        matrixConfig(scheme, n, m, capDefault);
+                    NodeSpec spec;
+                    spec.workload = w.name;
+                    spec.suite = w.suite;
+                    spec.sourceHash = workloads::sourceHash(w);
+                    spec.scheme = scheme.scheme;
+                    spec.label = scheme.label;
+                    spec.params = scheme.params;
+                    spec.regs = n;
+                    spec.cap = workloads::resolvedCap(w, cfg.maxInsts);
+                    spec.sampling = cfg.sampling;
+                    spec.seed = sweepSeed(cfg.core.seed, k);
+
+                    const std::string hex = digestHex(nodeDigest(spec));
+                    fp.digests.push_back(hex);
+                    if (plan.nodes.find(hex) == plan.nodes.end()) {
+                        SweepItem item =
+                            sweepItem(w, std::move(cfg),
+                                      m.sampleSharing);
+                        item.seedIndex = k;
+                        plan.order.push_back(hex);
+                        plan.nodes.emplace(
+                            hex, PlannedNode{std::move(spec),
+                                             std::move(item)});
+                    }
+                    ++k;
+                }
+            }
+        }
+        plan.figures.push_back(std::move(fp));
+    }
+    return plan;
+}
+
+CampaignResult
+runCampaign(const CampaignManifest &manifest, const Ledger &ledger,
+            const CampaignOptions &opts, std::ostream &os)
+{
+    const CampaignPlan plan = planCampaign(manifest, opts);
+
+    CampaignResult result;
+    result.totalNodes = plan.order.size();
+    std::vector<const std::string *> missing;
+    for (const std::string &hex : plan.order) {
+        if (ledger.has(hex))
+            ++result.hits;
+        else
+            missing.push_back(&hex);
+    }
+    std::size_t toRun = missing.size();
+    if (toRun > opts.maxNewNodes)
+        toRun = opts.maxNewNodes;
+    result.remaining = missing.size() - toRun;
+
+    os << "campaign '" << manifest.name << "': " << result.totalNodes
+       << " nodes, " << result.hits << " cached, " << toRun
+       << " to simulate";
+    if (result.remaining)
+        os << " (" << result.remaining << " deferred by --max-new-nodes)";
+    os << "\n";
+
+    unsigned threads = 0;
+    double wallSeconds = 0;
+    std::vector<BenchResult::PhaseRow> phases;
+    if (toRun > 0) {
+        SweepRunner runner(opts.threads);
+        std::vector<SweepItem> items;
+        items.reserve(toRun);
+        for (std::size_t i = 0; i < toRun; ++i)
+            items.push_back(plan.nodes.at(*missing[i]).item);
+        const std::vector<SweepResult> results = runner.run(items);
+        threads = runner.numThreads();
+        wallSeconds = runner.summary().wallSeconds;
+        // Host-side phase profile (RRS_PROF): sidecar data for the
+        // report's phase table, never part of the node files.
+        phases = collectBenchResult(manifest.name, runner).phases;
+        for (std::size_t i = 0; i < toRun; ++i) {
+            const std::string &hex = *missing[i];
+            const LedgerEntry entry = makeLedgerEntry(
+                plan.nodes.at(hex).spec, results[i].outcome);
+            std::string error;
+            if (!ledger.store(hex, entry, error))
+                rrs_fatal("cannot store ledger node %s: %s",
+                          hex.c_str(), error.c_str());
+        }
+        result.simulated = toRun;
+        runner.printSummary(os);
+    }
+
+    // The sidecar carries the host context and the figure -> digest
+    // mapping the report renders from.  It is rewritten on every run
+    // (including partial ones) and deliberately excluded from ledger
+    // byte-comparisons: nodes/ is the deterministic artifact.
+    result.sidecarPath = ledger.directory() + "/campaign.json";
+    std::string error;
+    if (!tryWriteFileAtomic(result.sidecarPath,
+                            renderCampaignJson(manifest, plan, result,
+                                               threads, wallSeconds,
+                                               phases),
+                            error))
+        rrs_fatal("cannot write campaign sidecar '%s': %s",
+                  result.sidecarPath.c_str(), error.c_str());
+    return result;
+}
+
+} // namespace rrs::harness

@@ -58,8 +58,27 @@ std::vector<std::vector<OutcomePair>> outcomePairGrid(
 /**
  * Figure 11's deterministic block: the geomean-IPC table, the
  * crossover analysis, and the shape-check note.
+ *
+ * Exact-mode output is golden-locked byte-for-byte.  When any outcome
+ * of the grid is sampled the table gains ±95%-CI columns (the geomean
+ * scaled by the average relative CI of its inputs) and an ASCII
+ * whisker chart of the intervals — still deterministic, gated only on
+ * the grid actually containing sampled runs.
  */
 std::string renderFig11(const std::vector<std::uint32_t> &sizes,
+                        const std::vector<std::vector<OutcomePair>> &grid);
+
+/**
+ * Figure 10's deterministic block: one speedup table per workload
+ * suite (baseline cycles / proposed cycles per cell, GEOMEAN row) plus
+ * the shape-check note — exactly the bytes the fig10 bench prints.
+ *
+ * Sampled grids switch each cell to "speedup±ci" derived from the
+ * reported (mean) IPC ratio, with the two runs' relative CIs summed —
+ * the conservative error for a ratio of independent estimates.
+ */
+std::string renderFig10(const std::vector<workloads::Workload> &ws,
+                        const std::vector<std::uint32_t> &sizes,
                         const std::vector<std::vector<OutcomePair>> &grid);
 
 /**

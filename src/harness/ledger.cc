@@ -1,0 +1,422 @@
+#include "ledger.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomicfile.hh"
+#include "harness/benchjson.hh"
+#include "obs/jsonlite.hh"
+#include "obs/stallcause.hh"
+
+namespace rrs::harness {
+
+namespace {
+
+constexpr std::uint64_t fnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t fnvPrime = 0x100000001b3ULL;
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = fnvOffset;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::uint64_t
+asU64(const obs::json::Value &v)
+{
+    return static_cast<std::uint64_t>(v.num);
+}
+
+/**
+ * 64-bit values (hashes, seeds) travel as 16-hex-char strings: JSON
+ * numbers are doubles, which silently round anything past 2^53.
+ */
+bool
+parseHex64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else
+            return false;
+        v = (v << 4) | static_cast<std::uint64_t>(d);
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+std::string
+digestHex(std::uint64_t digest)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+std::string
+nodeKey(const NodeSpec &spec)
+{
+    std::ostringstream key;
+    key << "ledger=" << ledgerSchemaVersion
+        << ";bench=" << benchSchemaVersion << ";w=" << spec.workload
+        << ";src=" << digestHex(spec.sourceHash)
+        << ";suite=" << spec.suite << ";scheme=" << spec.scheme
+        << ";regs=" << spec.regs << ";cap=" << spec.cap << ";params=";
+    bool first = true;
+    for (const auto &[k, v] : spec.params) {
+        key << (first ? "" : ",") << k << ":" << num(v);
+        first = false;
+    }
+    key << ";sampling=" << spec.sampling.warm << ":"
+        << spec.sampling.detailed << ":" << spec.sampling.period << ":"
+        << spec.sampling.fillInsts << ":" << num(spec.sampling.ciFloorPct)
+        << ";seed=" << digestHex(spec.seed);
+    return key.str();
+}
+
+std::uint64_t
+nodeDigest(const NodeSpec &spec)
+{
+    return fnv1a(nodeKey(spec));
+}
+
+LedgerEntry
+makeLedgerEntry(NodeSpec spec, const Outcome &outcome)
+{
+    LedgerEntry e;
+    e.run.workload = spec.workload;
+    e.run.scheme = spec.scheme;
+    e.run.insts = outcome.sim.committedInsts;
+    e.run.cycles = outcome.sim.cycles;
+    e.run.wallSeconds = 0;       // host data never enters a node file
+    e.run.sampled = outcome.sampled;
+    e.stalls = outcome.stalls;
+    e.allocations = outcome.allocations;
+    e.reuses = outcome.reuses;
+    e.repairs = outcome.repairs;
+    e.renameStalls = outcome.renameStalls;
+    e.spec = std::move(spec);
+    return e;
+}
+
+std::string
+renderLedgerEntryJson(const LedgerEntry &e)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"ledger_schema\": " << ledgerSchemaVersion << ",\n"
+       << "  \"digest\": " << jsonStr(digestHex(nodeDigest(e.spec)))
+       << ",\n"
+       << "  \"key\": " << jsonStr(nodeKey(e.spec)) << ",\n"
+       << "  \"node\": {\n"
+       << "    \"workload\": " << jsonStr(e.spec.workload) << ",\n"
+       << "    \"suite\": " << jsonStr(e.spec.suite) << ",\n"
+       << "    \"source_hash\": " << jsonStr(digestHex(e.spec.sourceHash))
+       << ",\n"
+       << "    \"scheme\": " << jsonStr(e.spec.scheme) << ",\n"
+       << "    \"label\": " << jsonStr(e.spec.label) << ",\n"
+       << "    \"params\": {";
+    bool first = true;
+    for (const auto &[k, v] : e.spec.params) {
+        os << (first ? "" : ", ") << jsonStr(k) << ": " << num(v);
+        first = false;
+    }
+    os << "},\n"
+       << "    \"regs\": " << e.spec.regs << ",\n"
+       << "    \"cap\": " << e.spec.cap << ",\n"
+       << "    \"sampling\": {\"warm\": " << e.spec.sampling.warm
+       << ", \"detailed\": " << e.spec.sampling.detailed
+       << ", \"period\": " << e.spec.sampling.period
+       << ", \"fill\": " << e.spec.sampling.fillInsts
+       << ", \"ci_floor_pct\": " << num(e.spec.sampling.ciFloorPct)
+       << "},\n"
+       << "    \"seed\": " << jsonStr(digestHex(e.spec.seed)) << "\n"
+       << "  },\n"
+       << "  \"run\": " << renderRunRecordJson(e.run) << ",\n"
+       << "  \"stalls\": {";
+    for (int i = 0; i < obs::numCycleCauses; ++i) {
+        os << (i ? ", " : "")
+           << jsonStr(obs::cycleCauseName(
+                  static_cast<obs::CycleCause>(i)))
+           << ": " << e.stalls.counts[i];
+    }
+    os << "},\n"
+       << "  \"rename\": {\"allocations\": " << num(e.allocations)
+       << ", \"reuses\": " << num(e.reuses) << ", \"repairs\": "
+       << num(e.repairs) << ", \"rename_stalls\": "
+       << num(e.renameStalls) << "}\n"
+       << "}\n";
+    return os.str();
+}
+
+bool
+parseLedgerEntryJson(const std::string &text, LedgerEntry &out,
+                     std::string &error)
+{
+    obs::json::Value doc;
+    if (!obs::json::parse(text, doc, &error))
+        return false;
+    if (!doc.isObject()) {
+        error = "ledger entry: root must be an object";
+        return false;
+    }
+    const obs::json::Value *schema = doc.find("ledger_schema");
+    if (!schema || !schema->isNumber() ||
+        static_cast<int>(schema->num) != ledgerSchemaVersion) {
+        error = "ledger entry: missing or unsupported ledger_schema "
+                "(expected " + std::to_string(ledgerSchemaVersion) + ")";
+        return false;
+    }
+    const obs::json::Value *node = doc.find("node");
+    const obs::json::Value *run = doc.find("run");
+    if (!node || !node->isObject() || !run || !run->isObject()) {
+        error = "ledger entry: missing node/run objects";
+        return false;
+    }
+
+    LedgerEntry e;
+    if (const auto *v = node->find("workload"))
+        e.spec.workload = v->str;
+    if (const auto *v = node->find("suite"))
+        e.spec.suite = v->str;
+    if (const auto *v = node->find("source_hash")) {
+        if (!parseHex64(v->str, e.spec.sourceHash)) {
+            error = "ledger entry: bad source_hash";
+            return false;
+        }
+    }
+    if (const auto *v = node->find("scheme"))
+        e.spec.scheme = v->str;
+    if (const auto *v = node->find("label"))
+        e.spec.label = v->str;
+    if (const auto *v = node->find("params")) {
+        for (const auto &[k, pv] : v->members)
+            e.spec.params.emplace_back(k, pv.num);
+    }
+    if (const auto *v = node->find("regs"))
+        e.spec.regs = static_cast<std::uint32_t>(v->num);
+    if (const auto *v = node->find("cap"))
+        e.spec.cap = asU64(*v);
+    if (const auto *v = node->find("sampling")) {
+        if (const auto *s = v->find("warm"))
+            e.spec.sampling.warm = asU64(*s);
+        if (const auto *s = v->find("detailed"))
+            e.spec.sampling.detailed = asU64(*s);
+        if (const auto *s = v->find("period"))
+            e.spec.sampling.period = asU64(*s);
+        if (const auto *s = v->find("fill"))
+            e.spec.sampling.fillInsts = asU64(*s);
+        if (const auto *s = v->find("ci_floor_pct"))
+            e.spec.sampling.ciFloorPct = s->num;
+    }
+    if (const auto *v = node->find("seed")) {
+        if (!parseHex64(v->str, e.spec.seed)) {
+            error = "ledger entry: bad seed";
+            return false;
+        }
+    }
+
+    parseRunRecordJson(*run, e.run);
+
+    if (const auto *v = doc.find("stalls")) {
+        for (int i = 0; i < obs::numCycleCauses; ++i) {
+            if (const auto *s = v->find(obs::cycleCauseName(
+                    static_cast<obs::CycleCause>(i))))
+                e.stalls.counts[i] = asU64(*s);
+        }
+    }
+    if (const auto *v = doc.find("rename")) {
+        if (const auto *s = v->find("allocations"))
+            e.allocations = s->num;
+        if (const auto *s = v->find("reuses"))
+            e.reuses = s->num;
+        if (const auto *s = v->find("repairs"))
+            e.repairs = s->num;
+        if (const auto *s = v->find("rename_stalls"))
+            e.renameStalls = s->num;
+    }
+
+    // The stored digest must match the spec we just parsed: a mismatch
+    // means the file was hand-edited or the key grammar changed without
+    // a schema bump, and trusting it would poison every consumer.
+    if (const auto *v = doc.find("digest")) {
+        if (v->str != digestHex(nodeDigest(e.spec))) {
+            error = "ledger entry: digest does not match its node spec "
+                    "(corrupt or hand-edited entry)";
+            return false;
+        }
+    }
+    out = std::move(e);
+    return true;
+}
+
+bool
+Ledger::has(const std::string &hex) const
+{
+    std::error_code ec;
+    return std::filesystem::exists(nodePath(hex), ec);
+}
+
+bool
+Ledger::tryLoad(const std::string &hex, LedgerEntry &out,
+                std::string &error) const
+{
+    std::ifstream in(nodePath(hex), std::ios::binary);
+    if (!in) {
+        error = "cannot open ledger node " + nodePath(hex);
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!parseLedgerEntryJson(text.str(), out, error)) {
+        error = nodePath(hex) + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+bool
+Ledger::store(const std::string &hex, const LedgerEntry &e,
+              std::string &error) const
+{
+    return tryWriteFileAtomic(nodePath(hex), renderLedgerEntryJson(e),
+                              error);
+}
+
+std::vector<std::string>
+Ledger::listNodes() const
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(nodesDir(), ec);
+    if (ec)
+        return out;
+    for (const auto &entry : it) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() == 21 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            out.push_back(name.substr(0, 16));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+LedgerDiff
+diffLedgers(const Ledger &base, const Ledger &cur)
+{
+    LedgerDiff d;
+    const std::vector<std::string> baseNodes = base.listNodes();
+    const std::vector<std::string> curNodes = cur.listNodes();
+    std::vector<std::string> shared;
+    std::set_difference(baseNodes.begin(), baseNodes.end(),
+                        curNodes.begin(), curNodes.end(),
+                        std::back_inserter(d.onlyBase));
+    std::set_difference(curNodes.begin(), curNodes.end(),
+                        baseNodes.begin(), baseNodes.end(),
+                        std::back_inserter(d.onlyCur));
+    std::set_intersection(baseNodes.begin(), baseNodes.end(),
+                          curNodes.begin(), curNodes.end(),
+                          std::back_inserter(shared));
+
+    auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    for (const std::string &hex : shared) {
+        LedgerEntry b, c;
+        std::string error;
+        if (!base.tryLoad(hex, b, error)) {
+            d.drift.push_back({hex, "?", "?", 0, "unreadable-base",
+                               error, ""});
+            continue;
+        }
+        if (!cur.tryLoad(hex, c, error)) {
+            d.drift.push_back({hex, b.spec.workload, b.spec.label,
+                               b.spec.regs, "unreadable-cur", "", error});
+            continue;
+        }
+        auto row = [&](const std::string &metric,
+                       const std::string &baseVal,
+                       const std::string &curVal) {
+            d.drift.push_back({hex, b.spec.workload, b.spec.label,
+                               b.spec.regs, metric, baseVal, curVal});
+        };
+        if (b.run.sampled.enabled || c.run.sampled.enabled) {
+            // Same digest, so the sampling schedule matched; gate the
+            // estimates on CI overlap like rrs-benchdiff does.
+            if (b.run.sampled.enabled != c.run.sampled.enabled) {
+                row("sampled", b.run.sampled.enabled ? "yes" : "no",
+                    c.run.sampled.enabled ? "yes" : "no");
+            } else if (!sampledCiOverlap(b.run.sampled, c.run.sampled)) {
+                row("mean_ipc", num(b.run.sampled.meanIpc),
+                    num(c.run.sampled.meanIpc));
+            }
+            continue;
+        }
+        if (b.run.insts != c.run.insts)
+            row("insts", u64(b.run.insts), u64(c.run.insts));
+        if (b.run.cycles != c.run.cycles)
+            row("cycles", u64(b.run.cycles), u64(c.run.cycles));
+        for (int i = 0; i < obs::numCycleCauses; ++i) {
+            if (b.stalls.counts[i] != c.stalls.counts[i]) {
+                row(std::string("stall.") +
+                        obs::cycleCauseName(
+                            static_cast<obs::CycleCause>(i)),
+                    u64(b.stalls.counts[i]), u64(c.stalls.counts[i]));
+            }
+        }
+        if (b.reuses != c.reuses)
+            row("reuses", num(b.reuses), num(c.reuses));
+        if (b.repairs != c.repairs)
+            row("repairs", num(b.repairs), num(c.repairs));
+    }
+    return d;
+}
+
+} // namespace rrs::harness

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The campaign report generator: renders a ledger + its campaign.json
+ * sidecar into one markdown (or HTML-wrapped) document (DESIGN §4j).
+ *
+ * Sections, in order:
+ *
+ *  1. Header — campaign name, git sha, node counts, wall clock.
+ *  2. One block per declared figure, rendered by the *same*
+ *     harness/figures renderers the bench binaries print through, fed
+ *     from outcomes reconstructed out of ledger nodes — so each fenced
+ *     block is byte-identical to the direct bench output (sampled
+ *     grids included: CI columns and whiskers appear in both).
+ *  3. Per-node stall attribution — every simulated node's full-cycle
+ *     breakdown (obs/stallcause.hh), as percentages.
+ *  4. Phase profile — the host-side profiler rows from the sidecar
+ *     (present when the campaign ran under RRS_PROF).
+ *  5. Drift vs a baseline ledger (optional): diffLedgers' verdicts —
+ *     exact nodes byte-compared, sampled nodes on 95% CI overlap —
+ *     with each drifted metric named per node, so a regression is
+ *     explained (which node, which metric, which stall cause grew).
+ */
+
+#ifndef RRS_HARNESS_REPORT_HH
+#define RRS_HARNESS_REPORT_HH
+
+#include <string>
+
+#include "harness/ledger.hh"
+
+namespace rrs::harness {
+
+/** Report knobs. */
+struct ReportOptions
+{
+    /** Non-empty: append the drift section against this ledger. */
+    std::string baselineDir;
+
+    /** Wrap the markdown in a minimal self-contained HTML page. */
+    bool html = false;
+};
+
+/**
+ * Render the campaign report for a ledger directory.
+ * @return false with `error` set when the ledger has no readable
+ *         campaign.json sidecar or a referenced node is missing or
+ *         malformed.
+ */
+bool tryRenderCampaignReport(const Ledger &ledger,
+                             const ReportOptions &opts, std::string &out,
+                             std::string &error);
+
+/** Rebuild a figure-renderer Outcome from a stored ledger node. */
+Outcome outcomeFromEntry(const LedgerEntry &e);
+
+} // namespace rrs::harness
+
+#endif // RRS_HARNESS_REPORT_HH

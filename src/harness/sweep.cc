@@ -122,7 +122,10 @@ SweepRunner::run(const std::vector<SweepItem> &items)
         rrs_assert(item.workload != nullptr, "sweep item needs a workload");
         obs::Profiler::Bind bind(prof ? &runTrees[i] : nullptr);
         RunConfig cfg = item.config;
-        cfg.core.seed = sweepSeed(cfg.core.seed, i);
+        cfg.core.seed = sweepSeed(cfg.core.seed,
+                                  item.seedIndex == SweepItem::autoSeedIndex
+                                      ? i
+                                      : item.seedIndex);
         if (!runTelem.empty())
             cfg.obs.telemetry = &runTelem[i];
         progress.beginRun(i, item.workload->name + " x " + cfg.scheme);

@@ -47,6 +47,18 @@ struct SweepItem
     const workloads::Workload *workload = nullptr;
     RunConfig config;
     bool sampleSharing = false;   //!< collect the Fig. 9 series
+
+    /**
+     * Index the run's RNG seed derives from (sweepSeed(seed, index)).
+     * The default npos means "my submission index in this run() call" —
+     * the original behaviour, which every bench keeps.  The campaign
+     * runner (harness/campaign.hh) pins it to the item's stable index
+     * within its figure's full expansion, so a resumed campaign that
+     * re-submits only the missing subset still reproduces exactly the
+     * seeds — and therefore the bytes — of an uninterrupted run.
+     */
+    static constexpr std::size_t autoSeedIndex = ~static_cast<std::size_t>(0);
+    std::size_t seedIndex = autoSeedIndex;
 };
 
 /** One entry's result: the run outcome plus its own wall clock. */

@@ -15,8 +15,7 @@ namespace {
 using obs::json::Value;
 
 /**
- * jsonlite keeps object members in document order and does not reject
- * repeats, so duplicate detection happens here: a matrix with two
+ * Duplicate detection for hand-written matrices: a matrix with two
  * "rf_sizes" members is almost certainly a merge accident, and silently
  * taking one of them would skew the sweep.
  */
@@ -24,14 +23,9 @@ bool
 checkNoDuplicateKeys(const Value &obj, const std::string &where,
                      std::string &error)
 {
-    for (std::size_t i = 0; i < obj.members.size(); ++i) {
-        for (std::size_t j = i + 1; j < obj.members.size(); ++j) {
-            if (obj.members[i].first == obj.members[j].first) {
-                error = "sweep matrix: duplicate key '" +
-                        obj.members[i].first + "' in " + where;
-                return false;
-            }
-        }
+    if (!checkNoDuplicateJsonKeys(obj, where, error)) {
+        error = "sweep matrix: " + error;
+        return false;
     }
     return true;
 }
@@ -128,6 +122,22 @@ parseSchemeSpec(const Value &v, SchemeSpec &spec, std::string &error)
 } // namespace
 
 bool
+checkNoDuplicateJsonKeys(const Value &obj, const std::string &where,
+                         std::string &error)
+{
+    for (std::size_t i = 0; i < obj.members.size(); ++i) {
+        for (std::size_t j = i + 1; j < obj.members.size(); ++j) {
+            if (obj.members[i].first == obj.members[j].first) {
+                error = "duplicate key '" + obj.members[i].first +
+                        "' in " + where;
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
 tryParseSweepMatrix(const std::string &text, SweepMatrix &out,
                     std::string &error)
 {
@@ -137,6 +147,13 @@ tryParseSweepMatrix(const std::string &text, SweepMatrix &out,
         error = "sweep matrix: " + jsonError;
         return false;
     }
+    return tryParseSweepMatrix(root, out, error);
+}
+
+bool
+tryParseSweepMatrix(const Value &root, SweepMatrix &out,
+                    std::string &error)
+{
     if (!root.isObject()) {
         error = "sweep matrix: the document root must be an object";
         return false;

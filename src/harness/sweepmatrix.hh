@@ -36,6 +36,10 @@
 
 #include "harness/sweep.hh"
 
+namespace rrs::obs::json {
+class Value;
+}
+
 namespace rrs::harness {
 
 /** One scheme column of a sweep matrix. */
@@ -74,6 +78,25 @@ struct SweepMatrix
  */
 bool tryParseSweepMatrix(const std::string &text, SweepMatrix &out,
                          std::string &error);
+
+/**
+ * Same validation over an already-parsed JSON value — the campaign
+ * manifest (harness/campaign.hh) embeds one matrix object per figure
+ * and routes each through here, so a matrix is diagnosed identically
+ * whether it arrives as its own file or inline.
+ */
+bool tryParseSweepMatrix(const obs::json::Value &root, SweepMatrix &out,
+                         std::string &error);
+
+/**
+ * jsonlite keeps object members in document order and does not reject
+ * repeats; any parser of a hand-written document (sweep matrices,
+ * campaign manifests) calls this so a duplicated key is a named
+ * diagnostic instead of a silently-ignored member.
+ */
+bool checkNoDuplicateJsonKeys(const obs::json::Value &obj,
+                              const std::string &where,
+                              std::string &error);
 
 /** Parse a matrix document, rrs_fatal on any diagnostic. */
 SweepMatrix parseSweepMatrix(const std::string &text);

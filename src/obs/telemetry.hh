@@ -178,6 +178,17 @@ std::string writeSweepTrace(const std::string &dir,
 std::string renderSweepTrace(const TelemetrySweepInfo &info,
                              const std::vector<const RunTelemetry *> &runs);
 
+/**
+ * Parse a `<label>_sweep<n>.trace.json` file name (the exact shape
+ * writeSweepTrace produces; `name` is a bare file name, not a path)
+ * back into its label and sweep index.  Consumers that order trace
+ * files (rrs-teleview) sort on the parsed index so `_sweep10` lists
+ * after `_sweep2`, not before it as a lexicographic sort would.
+ * @return false when the name does not match the pattern.
+ */
+bool parseSweepTraceName(const std::string &name, std::string &label,
+                         std::uint64_t &seq);
+
 } // namespace rrs::obs
 
 #endif // RRS_OBS_TELEMETRY_HH

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "harness/benchjson.hh"
+#include "obs/jsonlite.hh"
 
 namespace {
 
@@ -362,6 +363,52 @@ TEST(BenchJson, MetricSchemaSurvivesRender)
     r.metricSchema.clear();
     ASSERT_TRUE(harness::tryWriteBenchJson(path, r, error)) << error;
     ASSERT_TRUE(harness::loadBenchJson(path, back, error)) << error;
+}
+
+// The --json diff report: a machine-readable document carrying the
+// same verdicts and exit codes as text mode (both render one
+// collectBenchDiff report, so they can never disagree), that parses
+// back with the in-tree JSON reader.
+TEST(BenchDiffJson, RoundTripsAndAgreesWithTextMode)
+{
+    const BenchResult base = sampleResult();
+    BenchResult cur = sampleResult();
+    cur.runs[1].cycles += 100;   // exact drift: fails both modes
+
+    const BenchDiffOptions opts;
+    const harness::BenchDiffReport report =
+        harness::collectBenchDiff(base, cur, opts);
+    std::ostringstream text;
+    EXPECT_EQ(harness::diffBenchResults(base, cur, opts, text),
+              report.exitCode);
+    EXPECT_EQ(report.exitCode, 1);
+    EXPECT_EQ(report.verdict(), std::string("drift"));
+
+    const std::string body = harness::renderBenchDiffJson(report);
+    obs::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(obs::json::parse(body, doc, &error)) << error;
+    EXPECT_EQ(doc.at("bench").str, base.bench);
+    EXPECT_EQ(static_cast<int>(doc.at("exit_code").num),
+              report.exitCode);
+    EXPECT_EQ(doc.at("verdict").str, report.verdict());
+    const obs::json::Value &drift = doc.at("exact_drift");
+    ASSERT_FALSE(drift.arr.empty());
+    bool sawCycles = false;
+    for (const auto &row : drift.arr)
+        sawCycles = sawCycles || row.at("metric").str == "cycles";
+    EXPECT_TRUE(sawCycles);
+
+    // A clean self-diff reports exit code 0 in both modes too.
+    const harness::BenchDiffReport clean =
+        harness::collectBenchDiff(base, base, opts);
+    EXPECT_EQ(clean.exitCode, 0);
+    obs::json::Value cleanDoc;
+    ASSERT_TRUE(obs::json::parse(harness::renderBenchDiffJson(clean),
+                                 cleanDoc, &error))
+        << error;
+    EXPECT_EQ(cleanDoc.at("verdict").str, std::string("clean"));
+    EXPECT_TRUE(cleanDoc.at("exact_drift").arr.empty());
 }
 
 } // namespace

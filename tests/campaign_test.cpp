@@ -1,0 +1,292 @@
+// Campaign manifests and the resumable ledger DAG
+// (harness/campaign.hh): parse-time diagnostics, node sharing between
+// figures, the interrupt/resume contract (a ledger built in pieces is
+// byte-identical to one built in a single run, at every thread count),
+// the 100%-hit re-run, and the report's figure blocks matching the
+// direct renderer output byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "harness/campaign.hh"
+#include "harness/figures.hh"
+#include "harness/report.hh"
+
+namespace {
+
+using namespace rrs;
+using harness::CampaignManifest;
+using harness::CampaignOptions;
+using harness::CampaignPlan;
+using harness::Ledger;
+
+// Small but real: the full media suite over two sizes, 500 insts per
+// run — 16 nodes per sweep figure, well under a second end to end.
+const char *manifestJson = R"({
+  "name": "test-campaign",
+  "cap": 500,
+  "figures": [
+    {"figure": "fig11", "kind": "fig11",
+     "matrix": {"suite": "media", "schemes": ["baseline", "reuse"],
+                "rf_sizes": [48, 64]}},
+    {"figure": "fig10", "kind": "fig10",
+     "matrix": {"suite": "media", "schemes": ["baseline", "reuse"],
+                "rf_sizes": [48, 64]}},
+    {"figure": "table3", "kind": "table3", "sizes": [48, 64, 96]}
+  ]
+})";
+
+CampaignManifest
+parseManifest(const std::string &text = manifestJson)
+{
+    CampaignManifest m;
+    std::string error;
+    EXPECT_TRUE(harness::tryParseCampaignManifest(text, m, error))
+        << error;
+    return m;
+}
+
+std::string
+parseError(const std::string &text)
+{
+    CampaignManifest m;
+    std::string error;
+    EXPECT_FALSE(harness::tryParseCampaignManifest(text, m, error));
+    return error;
+}
+
+std::string
+tempDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** Every node file of a ledger as name -> bytes. */
+std::map<std::string, std::string>
+nodeBytes(const Ledger &ledger)
+{
+    std::map<std::string, std::string> out;
+    for (const auto &hex : ledger.listNodes()) {
+        std::ifstream in(ledger.nodePath(hex), std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        out[hex] = text.str();
+    }
+    return out;
+}
+
+TEST(CampaignManifestTest, ParsesTheFullGrammar)
+{
+    const CampaignManifest m = parseManifest();
+    EXPECT_EQ(m.name, "test-campaign");
+    EXPECT_EQ(m.cap, 500u);
+    ASSERT_EQ(m.figures.size(), 3u);
+    EXPECT_EQ(m.figures[0].kind,
+              harness::CampaignFigure::Kind::Fig11);
+    EXPECT_EQ(m.figures[1].kind,
+              harness::CampaignFigure::Kind::Fig10);
+    EXPECT_EQ(m.figures[2].kind,
+              harness::CampaignFigure::Kind::Table3);
+    EXPECT_EQ(m.figures[0].matrix.suite, "media");
+    EXPECT_EQ(m.figures[2].sizes.size(), 3u);
+}
+
+TEST(CampaignManifestTest, DiagnosticsAreRaisedAtParseTime)
+{
+    EXPECT_NE(parseError("[]").find("root must be an object"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"figures\": []}").find("'name'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"name\": \"x\", \"figures\": []}")
+                  .find("non-empty array"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"name\": \"x\", \"frobs\": 1}")
+                  .find("unknown key 'frobs'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"name\": \"x\", \"cap\": -5, "
+                         "\"figures\": []}")
+                  .find("'cap'"),
+              std::string::npos);
+
+    // Figure-level diagnostics name the offending figure.
+    const std::string badKind =
+        parseError("{\"name\": \"x\", \"figures\": ["
+                   "{\"figure\": \"f\", \"kind\": \"fig99\"}]}");
+    EXPECT_NE(badKind.find("figure 'f'"), std::string::npos);
+    EXPECT_NE(badKind.find("fig10/fig11/table3"), std::string::npos);
+
+    // The matrix itself parses fine; the kind/shape mismatch is what
+    // the diagnostic must name.
+    EXPECT_NE(parseError("{\"name\": \"x\", \"figures\": ["
+                         "{\"figure\": \"t\", \"kind\": \"table3\", "
+                         "\"matrix\": {\"schemes\": [\"baseline\", "
+                         "\"reuse\"], \"rf_sizes\": [64]}}]}")
+                  .find("take 'sizes', not a 'matrix'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"name\": \"x\", \"figures\": ["
+                         "{\"figure\": \"f\", \"kind\": \"fig11\", "
+                         "\"sizes\": [48]}]}")
+                  .find("take a 'matrix', not 'sizes'"),
+              std::string::npos);
+    EXPECT_NE(
+        parseError("{\"name\": \"x\", \"figures\": ["
+                   "{\"figure\": \"f\", \"kind\": \"fig11\", "
+                   "\"matrix\": {\"schemes\": [\"baseline\"], "
+                   "\"rf_sizes\": [48]}}]}")
+            .find("exactly two scheme columns"),
+        std::string::npos);
+    EXPECT_NE(
+        parseError("{\"name\": \"x\", \"figures\": ["
+                   "{\"figure\": \"f\", \"kind\": \"fig11\", "
+                   "\"matrix\": {\"suite\": \"nope\", \"schemes\": "
+                   "[\"baseline\", \"reuse\"], \"rf_sizes\": [48]}}]}")
+            .find("unknown suite 'nope'"),
+        std::string::npos);
+
+    // A broken embedded matrix surfaces the sweep-matrix diagnostic
+    // under the figure's name.
+    const std::string badMatrix =
+        parseError("{\"name\": \"x\", \"figures\": ["
+                   "{\"figure\": \"f\", \"kind\": \"fig11\", "
+                   "\"matrix\": {\"schemes\": [\"baseline\", "
+                   "\"nosuch\"], \"rf_sizes\": [48]}}]}");
+    EXPECT_NE(badMatrix.find("figure 'f'"), std::string::npos);
+    EXPECT_NE(badMatrix.find("unknown rename scheme"),
+              std::string::npos);
+
+    // Duplicate figure names would make the sidecar ambiguous.
+    EXPECT_NE(
+        parseError("{\"name\": \"x\", \"figures\": ["
+                   "{\"figure\": \"t\", \"kind\": \"table3\", "
+                   "\"sizes\": [48]},"
+                   "{\"figure\": \"t\", \"kind\": \"table3\", "
+                   "\"sizes\": [64]}]}")
+            .find("duplicate figure name 't'"),
+        std::string::npos);
+}
+
+TEST(CampaignPlanTest, FiguresWithTheSameMatrixShareEveryNode)
+{
+    const CampaignPlan plan =
+        harness::planCampaign(parseManifest(), CampaignOptions{});
+    ASSERT_EQ(plan.figures.size(), 3u);
+
+    // media (4 workloads) x 2 sizes x 2 schemes = 16 cells per sweep
+    // figure; fig10 reuses fig11's digests, table3 is analytic.
+    EXPECT_EQ(plan.figures[0].digests.size(), 16u);
+    EXPECT_EQ(plan.figures[1].digests, plan.figures[0].digests);
+    EXPECT_TRUE(plan.figures[2].digests.empty());
+    EXPECT_EQ(plan.order.size(), 16u);
+    EXPECT_EQ(plan.nodes.size(), 16u);
+}
+
+TEST(CampaignPlanTest, CapOverrideProducesDisjointDigests)
+{
+    const CampaignManifest m = parseManifest();
+    const CampaignPlan full =
+        harness::planCampaign(m, CampaignOptions{});
+    CampaignOptions capped;
+    capped.capOverride = 100;
+    const CampaignPlan smoke = harness::planCampaign(m, capped);
+    for (const auto &hex : smoke.order)
+        EXPECT_EQ(full.nodes.find(hex), full.nodes.end()) << hex;
+}
+
+TEST(CampaignRunTest, InterruptedRunsResumeToTheSameBytes)
+{
+    const CampaignManifest m = parseManifest();
+    for (unsigned threads : {1u, 2u, 4u}) {
+        CampaignOptions opts;
+        opts.threads = threads;
+
+        // The reference: one uninterrupted run.
+        const Ledger oneShot(
+            tempDir("campaign_oneshot_t" + std::to_string(threads)));
+        std::ostringstream sink;
+        harness::CampaignResult r =
+            harness::runCampaign(m, oneShot, opts, sink);
+        EXPECT_EQ(r.totalNodes, 16u);
+        EXPECT_EQ(r.simulated, 16u);
+        EXPECT_TRUE(r.complete());
+
+        // The same campaign killed after 5 nodes, then resumed.
+        const Ledger pieces(
+            tempDir("campaign_pieces_t" + std::to_string(threads)));
+        CampaignOptions interrupted = opts;
+        interrupted.maxNewNodes = 5;
+        r = harness::runCampaign(m, pieces, interrupted, sink);
+        EXPECT_EQ(r.simulated, 5u);
+        EXPECT_EQ(r.remaining, 11u);
+        EXPECT_FALSE(r.complete());
+
+        r = harness::runCampaign(m, pieces, opts, sink);
+        EXPECT_EQ(r.hits, 5u);       // untouched nodes digest-skipped
+        EXPECT_EQ(r.simulated, 11u);
+        EXPECT_TRUE(r.complete());
+
+        // nodes/ is byte-identical: same files, same bytes.
+        EXPECT_EQ(nodeBytes(pieces), nodeBytes(oneShot))
+            << "threads=" << threads;
+
+        // A clean re-run simulates nothing.
+        r = harness::runCampaign(m, pieces, opts, sink);
+        EXPECT_EQ(r.hits, 16u);
+        EXPECT_EQ(r.simulated, 0u);
+    }
+}
+
+TEST(CampaignReportTest, FigureBlocksMatchTheDirectRenderers)
+{
+    const CampaignManifest m = parseManifest();
+    const Ledger ledger(tempDir("campaign_report"));
+    std::ostringstream sink;
+    harness::runCampaign(m, ledger, CampaignOptions{}, sink);
+
+    std::string report, error;
+    ASSERT_TRUE(harness::tryRenderCampaignReport(
+        ledger, harness::ReportOptions{}, report, error))
+        << error;
+
+    // The same cells simulated directly, through the bench path.
+    harness::SweepRunner runner(1);
+    const auto ws = workloads::suiteWorkloads("media");
+    const auto grid = harness::outcomePairGrid(
+        runner, ws, m.figures[0].matrix, m.cap);
+    const std::string direct =
+        harness::renderFig11(m.figures[0].matrix.rfSizes, grid);
+
+    const std::string marker = "## fig11 (fig11)\n\n```\n";
+    const std::size_t at = report.find(marker);
+    ASSERT_NE(at, std::string::npos) << report;
+    const std::size_t start = at + marker.size();
+    const std::size_t end = report.find("```", start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(report.substr(start, end - start), direct);
+
+    // And fig10's block, against its renderer.
+    const std::string direct10 = harness::renderFig10(
+        ws, m.figures[1].matrix.rfSizes, grid);
+    const std::string marker10 = "## fig10 (fig10)\n\n```\n";
+    const std::size_t at10 = report.find(marker10);
+    ASSERT_NE(at10, std::string::npos);
+    const std::size_t start10 = at10 + marker10.size();
+    const std::size_t end10 = report.find("```", start10);
+    EXPECT_EQ(report.substr(start10, end10 - start10), direct10);
+
+    // The report needs a sidecar; a bare nodes/ dir is an error that
+    // says what to do about it.
+    const Ledger bare(tempDir("campaign_report_bare"));
+    std::string out;
+    EXPECT_FALSE(harness::tryRenderCampaignReport(
+        bare, harness::ReportOptions{}, out, error));
+    EXPECT_NE(error.find("rrs-campaign"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,321 @@
+// The experiment ledger (harness/ledger.hh): node-key canonical form,
+// digest stability, entry JSON round-trip, corruption rejection, the
+// content-addressed store, and the two-ledger drift report's gating
+// rules (exact nodes bit-for-bit, sampled nodes on CI overlap).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "harness/ledger.hh"
+
+namespace {
+
+using namespace rrs;
+using harness::Ledger;
+using harness::LedgerDiff;
+using harness::LedgerEntry;
+using harness::NodeSpec;
+
+NodeSpec
+sampleSpec()
+{
+    NodeSpec s;
+    s.workload = "int_sort";
+    s.suite = "specint";
+    s.sourceHash = 0x1234'5678'9abc'def0ull;
+    s.scheme = "reuse";
+    s.label = "proposed";
+    s.params = {{"predictor_bits", 2.0}, {"table_entries", 512.0}};
+    s.regs = 64;
+    s.cap = 150'000;
+    s.seed = 0xfeed'beef'cafe'f00dull;
+    return s;
+}
+
+LedgerEntry
+sampleEntry()
+{
+    LedgerEntry e;
+    e.spec = sampleSpec();
+    e.run.workload = e.spec.workload;
+    e.run.scheme = e.spec.scheme;
+    e.run.insts = 150'000;
+    e.run.cycles = 200'000;
+    e.stalls.counts[0] = 120'000;
+    e.stalls.counts[2] = 50'000;
+    e.stalls.counts[6] = 30'000;
+    e.allocations = 90'000;
+    e.reuses = 12'000;
+    e.repairs = 42;
+    e.renameStalls = 1'000;
+    return e;
+}
+
+std::string
+tempLedgerDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(NodeKey, CanonicalForm)
+{
+    const std::string key = harness::nodeKey(sampleSpec());
+    EXPECT_EQ(key,
+              "ledger=1;bench=2;w=int_sort;src=123456789abcdef0;"
+              "suite=specint;scheme=reuse;regs=64;cap=150000;"
+              "params=predictor_bits:2,table_entries:512;"
+              "sampling=0:0:0:256:2;seed=feedbeefcafef00d");
+}
+
+TEST(NodeKey, LabelIsNotPartOfTheIdentity)
+{
+    NodeSpec a = sampleSpec();
+    NodeSpec b = sampleSpec();
+    b.label = "renamed column";
+    EXPECT_EQ(harness::nodeDigest(a), harness::nodeDigest(b));
+}
+
+TEST(NodeKey, EveryIdentityFieldChangesTheDigest)
+{
+    const std::uint64_t base = harness::nodeDigest(sampleSpec());
+    auto differs = [&base](NodeSpec s) {
+        return harness::nodeDigest(s) != base;
+    };
+    {
+        NodeSpec s = sampleSpec();
+        s.workload = "fp_fir";
+        EXPECT_TRUE(differs(s)) << "workload";
+    }
+    {
+        NodeSpec s = sampleSpec();
+        s.sourceHash ^= 1;   // a one-line kernel edit
+        EXPECT_TRUE(differs(s)) << "sourceHash";
+    }
+    {
+        NodeSpec s = sampleSpec();
+        s.scheme = "baseline";
+        EXPECT_TRUE(differs(s)) << "scheme";
+    }
+    {
+        NodeSpec s = sampleSpec();
+        s.params[0].second = 3.0;
+        EXPECT_TRUE(differs(s)) << "params";
+    }
+    {
+        NodeSpec s = sampleSpec();
+        s.regs = 96;
+        EXPECT_TRUE(differs(s)) << "regs";
+    }
+    {
+        NodeSpec s = sampleSpec();
+        s.cap = 2'000;
+        EXPECT_TRUE(differs(s)) << "cap";
+    }
+    {
+        NodeSpec s = sampleSpec();
+        s.sampling.warm = 256;
+        s.sampling.detailed = 128;
+        s.sampling.period = 512;
+        EXPECT_TRUE(differs(s)) << "sampling";
+    }
+    {
+        NodeSpec s = sampleSpec();
+        s.seed ^= 1;
+        EXPECT_TRUE(differs(s)) << "seed";
+    }
+}
+
+TEST(NodeKey, DigestHexIsFixedWidth)
+{
+    EXPECT_EQ(harness::digestHex(0), "0000000000000000");
+    EXPECT_EQ(harness::digestHex(0xabcull), "0000000000000abc");
+    EXPECT_EQ(harness::digestHex(~0ull), "ffffffffffffffff");
+}
+
+TEST(LedgerEntryJson, RoundTrip)
+{
+    const LedgerEntry e = sampleEntry();
+    const std::string text = harness::renderLedgerEntryJson(e);
+
+    LedgerEntry back;
+    std::string error;
+    ASSERT_TRUE(harness::parseLedgerEntryJson(text, back, error))
+        << error;
+    EXPECT_EQ(back.spec.workload, e.spec.workload);
+    EXPECT_EQ(back.spec.suite, e.spec.suite);
+    EXPECT_EQ(back.spec.sourceHash, e.spec.sourceHash);
+    EXPECT_EQ(back.spec.scheme, e.spec.scheme);
+    EXPECT_EQ(back.spec.label, e.spec.label);
+    EXPECT_EQ(back.spec.params, e.spec.params);
+    EXPECT_EQ(back.spec.regs, e.spec.regs);
+    EXPECT_EQ(back.spec.cap, e.spec.cap);
+    EXPECT_EQ(back.spec.seed, e.spec.seed);
+    EXPECT_EQ(back.run.insts, e.run.insts);
+    EXPECT_EQ(back.run.cycles, e.run.cycles);
+    for (int c = 0; c < obs::numCycleCauses; ++c)
+        EXPECT_EQ(back.stalls.counts[c], e.stalls.counts[c]) << c;
+    EXPECT_EQ(back.reuses, e.reuses);
+    EXPECT_EQ(back.repairs, e.repairs);
+
+    // Rendering the parsed entry reproduces the bytes: the node files
+    // are canonical, so ledger diffs can compare bytes.
+    EXPECT_EQ(harness::renderLedgerEntryJson(back), text);
+}
+
+TEST(LedgerEntryJson, WallClockIsNeverStored)
+{
+    // Entries must be byte-stable across machines; a wall-clock field
+    // with a real value would break that.
+    LedgerEntry e = sampleEntry();
+    e.run.wallSeconds = 1.5;   // pretend a caller forgot to zero it
+    harness::Outcome o;
+    o.sim.committedInsts = e.run.insts;
+    o.sim.cycles = e.run.cycles;
+    const LedgerEntry built = harness::makeLedgerEntry(e.spec, o);
+    EXPECT_EQ(built.run.wallSeconds, 0.0);
+
+    const std::string text = harness::renderLedgerEntryJson(built);
+    EXPECT_NE(text.find("\"wall_seconds\": 0"), std::string::npos);
+    EXPECT_EQ(text.find("git_sha"), std::string::npos);
+    EXPECT_EQ(text.find("timestamp"), std::string::npos);
+}
+
+TEST(LedgerEntryJson, RejectsDigestMismatch)
+{
+    // A hand-edited identity field no longer matches the stored
+    // digest; trusting the entry would poison every figure above it.
+    std::string text = harness::renderLedgerEntryJson(sampleEntry());
+    const std::size_t pos = text.find("\"regs\": 64");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 10, "\"regs\": 65");
+
+    LedgerEntry back;
+    std::string error;
+    EXPECT_FALSE(harness::parseLedgerEntryJson(text, back, error));
+    EXPECT_NE(error.find("digest"), std::string::npos) << error;
+}
+
+TEST(LedgerEntryJson, RejectsGarbage)
+{
+    LedgerEntry back;
+    std::string error;
+    EXPECT_FALSE(harness::parseLedgerEntryJson("{", back, error));
+    EXPECT_FALSE(harness::parseLedgerEntryJson("{}", back, error));
+    EXPECT_FALSE(harness::parseLedgerEntryJson(
+        "{\"ledger_schema\": 999}", back, error));
+}
+
+TEST(LedgerStore, StoreLoadList)
+{
+    const Ledger ledger(tempLedgerDir("ledger_store"));
+    const LedgerEntry e = sampleEntry();
+    const std::string hex =
+        harness::digestHex(harness::nodeDigest(e.spec));
+
+    EXPECT_FALSE(ledger.has(hex));
+    std::string error;
+    ASSERT_TRUE(ledger.store(hex, e, error)) << error;
+    EXPECT_TRUE(ledger.has(hex));
+
+    LedgerEntry back;
+    ASSERT_TRUE(ledger.tryLoad(hex, back, error)) << error;
+    EXPECT_EQ(back.run.cycles, e.run.cycles);
+
+    // A second, different node; listNodes returns both, sorted.
+    LedgerEntry e2 = sampleEntry();
+    e2.spec.regs = 96;
+    const std::string hex2 =
+        harness::digestHex(harness::nodeDigest(e2.spec));
+    ASSERT_TRUE(ledger.store(hex2, e2, error)) << error;
+    std::vector<std::string> nodes = ledger.listNodes();
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_LT(nodes[0], nodes[1]);
+
+    EXPECT_FALSE(ledger.tryLoad("0000000000000000", back, error));
+}
+
+TEST(LedgerDiffTest, ExactNodesGateBitForBit)
+{
+    const Ledger base(tempLedgerDir("diff_base"));
+    const Ledger cur(tempLedgerDir("diff_cur"));
+    const LedgerEntry e = sampleEntry();
+    const std::string hex =
+        harness::digestHex(harness::nodeDigest(e.spec));
+    std::string error;
+    ASSERT_TRUE(base.store(hex, e, error)) << error;
+    ASSERT_TRUE(cur.store(hex, e, error)) << error;
+    EXPECT_TRUE(harness::diffLedgers(base, cur).clean());
+
+    // One cycle of drift in an exact node fails the gate, and the
+    // stall row names where the cycles went.
+    LedgerEntry drifted = e;
+    drifted.run.cycles += 1;
+    drifted.stalls.counts[2] += 1;
+    ASSERT_TRUE(cur.store(hex, drifted, error)) << error;
+    const LedgerDiff d = harness::diffLedgers(base, cur);
+    ASSERT_FALSE(d.clean());
+    bool sawCycles = false, sawStall = false;
+    for (const auto &row : d.drift) {
+        sawCycles = sawCycles || row.metric == "cycles";
+        sawStall = sawStall || row.metric.rfind("stall.", 0) == 0;
+    }
+    EXPECT_TRUE(sawCycles);
+    EXPECT_TRUE(sawStall);
+}
+
+TEST(LedgerDiffTest, SampledNodesGateOnCiOverlap)
+{
+    const Ledger base(tempLedgerDir("diff_sampled_base"));
+    const Ledger cur(tempLedgerDir("diff_sampled_cur"));
+    LedgerEntry e = sampleEntry();
+    e.spec.sampling.warm = 256;
+    e.spec.sampling.detailed = 128;
+    e.spec.sampling.period = 512;
+    e.run.sampled.enabled = true;
+    e.run.sampled.windows = 16;
+    e.run.sampled.meanIpc = 0.80;
+    e.run.sampled.ci95Ipc = 0.05;
+    const std::string hex =
+        harness::digestHex(harness::nodeDigest(e.spec));
+    std::string error;
+    ASSERT_TRUE(base.store(hex, e, error)) << error;
+
+    // Within the summed CI: noise, not drift.
+    LedgerEntry within = e;
+    within.run.sampled.meanIpc = 0.86;
+    ASSERT_TRUE(cur.store(hex, within, error)) << error;
+    EXPECT_TRUE(harness::diffLedgers(base, cur).clean());
+
+    // Beyond it: drift on the mean-IPC metric.
+    LedgerEntry far = e;
+    far.run.sampled.meanIpc = 1.00;
+    ASSERT_TRUE(cur.store(hex, far, error)) << error;
+    const LedgerDiff d = harness::diffLedgers(base, cur);
+    ASSERT_EQ(d.drift.size(), 1u);
+    EXPECT_EQ(d.drift[0].metric, "mean_ipc");
+}
+
+TEST(LedgerDiffTest, NodeSetDifferenceIsReported)
+{
+    const Ledger base(tempLedgerDir("diff_sets_base"));
+    const Ledger cur(tempLedgerDir("diff_sets_cur"));
+    const LedgerEntry e = sampleEntry();
+    LedgerEntry e2 = sampleEntry();
+    e2.spec.regs = 96;
+    std::string error;
+    ASSERT_TRUE(base.store(
+        harness::digestHex(harness::nodeDigest(e.spec)), e, error));
+    ASSERT_TRUE(cur.store(
+        harness::digestHex(harness::nodeDigest(e2.spec)), e2, error));
+    const LedgerDiff d = harness::diffLedgers(base, cur);
+    EXPECT_EQ(d.onlyBase.size(), 1u);
+    EXPECT_EQ(d.onlyCur.size(), 1u);
+    EXPECT_FALSE(d.clean());
+}
+
+} // namespace

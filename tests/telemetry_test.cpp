@@ -262,6 +262,44 @@ TEST(TelemetrySweep, TraceBytesIdenticalAcrossThreadCounts)
     EXPECT_NE(doc.find("traceEvents"), nullptr);
 }
 
+// The trace file-name grammar rrs-teleview sorts by: label and sweep
+// index round-trip, and the index is numeric — `_sweep10` must order
+// after `_sweep2`, which a lexicographic file listing gets wrong.
+TEST(TelemetrySweep, ParseSweepTraceName)
+{
+    std::string label;
+    std::uint64_t seq = 0;
+
+    ASSERT_TRUE(obs::parseSweepTraceName("fig11_sweep0.trace.json",
+                                         label, seq));
+    EXPECT_EQ(label, "fig11");
+    EXPECT_EQ(seq, 0u);
+
+    // The label itself may contain "_sweep"; the index is whatever
+    // follows the last occurrence.
+    ASSERT_TRUE(obs::parseSweepTraceName(
+        "my_sweep_bench_sweep12.trace.json", label, seq));
+    EXPECT_EQ(label, "my_sweep_bench");
+    EXPECT_EQ(seq, 12u);
+
+    ASSERT_TRUE(obs::parseSweepTraceName("x_sweep10.trace.json",
+                                         label, seq));
+    EXPECT_EQ(seq, 10u);
+
+    // Not sweep traces: wrong suffix, no marker, empty or non-numeric
+    // index, empty label.
+    EXPECT_FALSE(obs::parseSweepTraceName("fig11_sweep0.json",
+                                          label, seq));
+    EXPECT_FALSE(obs::parseSweepTraceName("fig11.trace.json",
+                                          label, seq));
+    EXPECT_FALSE(obs::parseSweepTraceName("fig11_sweep.trace.json",
+                                          label, seq));
+    EXPECT_FALSE(obs::parseSweepTraceName("fig11_sweep1a.trace.json",
+                                          label, seq));
+    EXPECT_FALSE(obs::parseSweepTraceName("_sweep3.trace.json",
+                                          label, seq));
+}
+
 // Telemetry off (no directory): the sweep must not write anything and
 // lastTelemetryPath stays empty.
 TEST(TelemetrySweep, NoDirectoryMeansNoTrace)

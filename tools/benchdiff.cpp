@@ -14,6 +14,10 @@
  *
  * Options:
  *   --markdown                    pipe-table output (PR comments)
+ *   --json                        machine-readable diff report(s):
+ *                                 one JSON document per pair (an array
+ *                                 in directory mode), same verdicts
+ *                                 and exit codes as text mode
  *   --throughput-threshold <pct>  fail on noisy drift beyond <pct>%
  */
 
@@ -38,7 +42,8 @@ using rrs::harness::BenchResult;
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--markdown] [--throughput-threshold <pct>] "
+                 "usage: %s [--markdown] [--json] "
+                 "[--throughput-threshold <pct>] "
                  "<baseline> <current>\n"
                  "  baseline/current: BENCH_*.json files, or "
                  "directories matched by file name\n",
@@ -63,10 +68,15 @@ benchFiles(const std::string &dir)
     return names;
 }
 
-/** Load both sides and diff; returns the diff exit code. */
+/**
+ * Load both sides and diff; returns the diff exit code.  In JSON mode
+ * the document goes to `jsonOut` instead of text to stdout — the same
+ * collectBenchDiff verdicts either way, so the two modes can never
+ * disagree on what counts as drift.
+ */
 int
 diffFiles(const std::string &basePath, const std::string &curPath,
-          const BenchDiffOptions &opts)
+          const BenchDiffOptions &opts, std::string *jsonOut)
 {
     BenchResult base, cur;
     std::string error;
@@ -78,6 +88,12 @@ diffFiles(const std::string &basePath, const std::string &curPath,
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 2;
     }
+    if (jsonOut != nullptr) {
+        const rrs::harness::BenchDiffReport report =
+            rrs::harness::collectBenchDiff(base, cur, opts);
+        *jsonOut = rrs::harness::renderBenchDiffJson(report);
+        return report.exitCode;
+    }
     return rrs::harness::diffBenchResults(base, cur, opts, std::cout);
 }
 
@@ -87,10 +103,13 @@ int
 main(int argc, char **argv)
 {
     BenchDiffOptions opts;
+    bool json = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--markdown") == 0) {
             opts.markdown = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
         } else if (std::strcmp(argv[i], "--throughput-threshold") == 0) {
             if (i + 1 >= argc)
                 usage(argv[0]);
@@ -112,12 +131,19 @@ main(int argc, char **argv)
                              "file\n");
         return 2;
     }
-    if (!baseDir)
-        return diffFiles(paths[0], paths[1], opts);
+    if (!baseDir) {
+        if (!json)
+            return diffFiles(paths[0], paths[1], opts, nullptr);
+        std::string doc;
+        const int rc = diffFiles(paths[0], paths[1], opts, &doc);
+        std::fputs(doc.c_str(), stdout);
+        return rc;
+    }
 
     // Directory mode: match by file name; a baseline with no current
     // counterpart is a missing bench (fail), a new current file only
-    // notes (it has no baseline to regress against yet).
+    // notes (it has no baseline to regress against yet).  JSON mode
+    // emits one array of per-bench documents.
     int worst = 0;
     const auto baseNames = benchFiles(paths[0]);
     const auto curNames = benchFiles(paths[1]);
@@ -126,23 +152,45 @@ main(int argc, char **argv)
                      paths[0].c_str());
         return 2;
     }
+    std::vector<std::string> docs;
     for (const auto &name : baseNames) {
         if (std::find(curNames.begin(), curNames.end(), name) ==
             curNames.end()) {
-            std::printf("MISSING: %s present in baseline only\n",
-                        name.c_str());
+            if (json) {
+                docs.push_back("{\"bench\": \"" + name +
+                               "\", \"verdict\": \"missing\", "
+                               "\"exit_code\": 1}\n");
+            } else {
+                std::printf("MISSING: %s present in baseline only\n",
+                            name.c_str());
+            }
             worst = std::max(worst, 1);
             continue;
         }
+        std::string doc;
         const int rc = diffFiles(paths[0] + "/" + name,
-                                 paths[1] + "/" + name, opts);
+                                 paths[1] + "/" + name, opts,
+                                 json ? &doc : nullptr);
+        if (json)
+            docs.push_back(std::move(doc));
         worst = std::max(worst, rc);
     }
     for (const auto &name : curNames) {
         if (std::find(baseNames.begin(), baseNames.end(), name) ==
             baseNames.end()) {
-            std::printf("note: %s is new (no baseline)\n", name.c_str());
+            if (!json)
+                std::printf("note: %s is new (no baseline)\n",
+                            name.c_str());
         }
+    }
+    if (json) {
+        std::fputs("[\n", stdout);
+        for (std::size_t i = 0; i < docs.size(); ++i) {
+            std::fputs(docs[i].c_str(), stdout);
+            if (i + 1 < docs.size())
+                std::fputs(",\n", stdout);
+        }
+        std::fputs("]\n", stdout);
     }
     return worst;
 }

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * rrs-report: render a campaign ledger into one report.
+ *
+ *   rrs-report [--ledger <dir>] [--baseline <dir>] [--html] [-o <file>]
+ *
+ * Reads the campaign.json sidecar rrs-campaign wrote next to the
+ * ledger's nodes/ directory and renders every figure and table of the
+ * reproduction from ledger entries alone — no re-simulation.  Figure
+ * blocks are byte-identical to the direct bench output for the same
+ * runs; sampled rows carry 95% confidence intervals.  With --baseline,
+ * a drift section diffs this ledger against a prior one using the
+ * benchdiff gating rules and explains any regression (which node,
+ * which metric, which stall cause grew).
+ *
+ * Options:
+ *   --ledger <dir>      ledger directory (default: RRS_LEDGER_DIR)
+ *   --baseline <dir>    prior ledger to diff against
+ *   --html              wrap the report in a minimal HTML page
+ *   -o <file>           write to <file> (atomic) instead of stdout
+ *
+ * Exit status: 0 on success, 2 on a missing/unreadable ledger.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/atomicfile.hh"
+#include "harness/report.hh"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--ledger <dir>] [--baseline <dir>] "
+                 "[--html] [-o <file>]\n"
+                 "  --ledger defaults to the RRS_LEDGER_DIR "
+                 "environment variable\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string ledgerDir;
+    if (const char *env = std::getenv("RRS_LEDGER_DIR"))
+        ledgerDir = env;
+    std::string outPath;
+    rrs::harness::ReportOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ledger") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            ledgerDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--baseline") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            opts.baselineDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--html") == 0) {
+            opts.html = true;
+        } else if (std::strcmp(argv[i], "-o") == 0 ||
+                   std::strcmp(argv[i], "--output") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            outPath = argv[++i];
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (ledgerDir.empty()) {
+        std::fprintf(stderr, "error: no ledger directory (pass "
+                             "--ledger or set RRS_LEDGER_DIR)\n");
+        return 2;
+    }
+
+    const rrs::harness::Ledger ledger(ledgerDir);
+    std::string report, error;
+    if (!rrs::harness::tryRenderCampaignReport(ledger, opts, report,
+                                               error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    if (outPath.empty()) {
+        std::fputs(report.c_str(), stdout);
+        return 0;
+    }
+    if (!rrs::tryWriteFileAtomic(outPath, report, error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    std::printf("wrote %s\n", outPath.c_str());
+    return 0;
+}

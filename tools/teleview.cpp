@@ -24,7 +24,10 @@
 #include <string>
 #include <vector>
 
+#include <tuple>
+
 #include "obs/jsonlite.hh"
+#include "obs/telemetry.hh"
 
 namespace {
 
@@ -167,7 +170,13 @@ summarizeTrace(const std::string &path, bool listSpans)
     return 0;
 }
 
-/** Expand an argument to trace files (a file stays itself). */
+/**
+ * Expand an argument to trace files (a file stays itself).  Sweep
+ * traces sort by label then *numeric* sweep index — a lexicographic
+ * sort would list `x_sweep10` before `x_sweep2`; files that are not
+ * sweep traces sort lexicographically after parseable ones with the
+ * same prefix.
+ */
 std::vector<std::string>
 traceFiles(const std::string &arg)
 {
@@ -181,7 +190,20 @@ traceFiles(const std::string &arg)
             out.push_back(e.path().string());
         }
     }
-    std::sort(out.begin(), out.end());
+    auto key = [](const std::string &path) {
+        const std::string name = fs::path(path).filename().string();
+        std::string label;
+        std::uint64_t seq = 0;
+        if (!rrs::obs::parseSweepTraceName(name, label, seq)) {
+            label = name;
+            seq = 0;
+        }
+        return std::make_tuple(label, seq, path);
+    };
+    std::sort(out.begin(), out.end(),
+              [&key](const std::string &a, const std::string &b) {
+                  return key(a) < key(b);
+              });
     return out;
 }
 
